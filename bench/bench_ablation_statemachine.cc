@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Section 3 state-machine depth claim: "changing from two-bit to
+ * three-bit state machine reduces the coverage from 80% to 60%" —
+ * the deeper bias suppresses more true faults in intermediate states.
+ * We sweep the per-bit counter flavor of FaultHound's TCAM filters and
+ * report coverage and false-positive rates.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+
+using namespace fh;
+
+int
+main()
+{
+    auto cfg = bench::campaignConfig();
+    const u64 budget = bench::envU64("FH_INSTS", 100000);
+
+    struct Variant
+    {
+        std::string label;
+        filters::CounterConfig counters;
+    };
+    std::vector<Variant> variants = {
+        {"standard 2-bit (unbiased)", filters::CounterConfig::standard()},
+        {"biased 2-bit (paper)", filters::CounterConfig::biased()},
+        {"biased 3-bit (deeper)", filters::CounterConfig::biased3()},
+    };
+
+    TextTable table({"state machine", "SDC coverage", "FP rate"});
+    for (const auto &variant : variants) {
+        std::vector<double> cov;
+        std::vector<double> fp;
+        for (const auto &info : bench::selectedBenchmarks()) {
+            isa::Program prog = bench::buildProgram(info, 2);
+            auto det = filters::DetectorParams::faultHound();
+            det.tcam.counters = variant.counters;
+            auto params = bench::coreParams(det);
+            cov.push_back(
+                fault::runCampaign(params, &prog, cfg).coverage());
+            fp.push_back(bench::fpRateSteady(params, &prog, budget));
+        }
+        table.addRow({variant.label,
+                      TextTable::pct(bench::mean(cov)),
+                      TextTable::pct(bench::mean(fp), 2)});
+    }
+
+    std::cout << "State-machine depth ablation (Section 3)\n(paper: "
+                 "deeper bias costs coverage, 80% -> 60%; the unbiased "
+                 "machine has unacceptable false positives)\n\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 8: (a) SDC coverage and (b) false-positive rates for PBFS,
+ * PBFS-biased, FaultHound-backend, and full FaultHound.
+ *
+ * Expected shape (paper): PBFS low coverage (~30%) with negligible
+ * false positives; PBFS-biased good coverage (~75-80%) but high
+ * false-positive rates (~8%); FaultHound matches PBFS-biased's
+ * coverage at much lower false-positive rates (~3%); FH-backend
+ * covers only the back-end, so its overall coverage is lower than
+ * full FaultHound's.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+
+using namespace fh;
+
+int
+main()
+{
+    auto cfg = bench::campaignConfig();
+    const u64 fp_budget = bench::envU64("FH_INSTS", 120000);
+    auto schemes = bench::fig8Schemes();
+
+    TextTable cov({"benchmark", "PBFS", "PBFS-biased", "FH-backend",
+                   "FaultHound"});
+    TextTable fp({"benchmark", "PBFS", "PBFS-biased", "FH-backend",
+                  "FaultHound"});
+    std::vector<std::vector<double>> cov_cols(schemes.size());
+    std::vector<std::vector<double>> fp_cols(schemes.size());
+
+    for (const auto &info : bench::selectedBenchmarks()) {
+        isa::Program prog = bench::buildProgram(info, 2);
+        std::vector<std::string> cov_row{info.name};
+        std::vector<std::string> fp_row{info.name};
+
+        for (size_t s = 0; s < schemes.size(); ++s) {
+            auto params = bench::coreParams(schemes[s].params);
+            auto res = fault::runCampaign(params, &prog, cfg);
+            cov_cols[s].push_back(res.coverage());
+            cov_row.push_back(TextTable::pct(res.coverage()));
+
+            double rate = bench::fpRateSteady(params, &prog, fp_budget);
+            fp_cols[s].push_back(rate);
+            fp_row.push_back(TextTable::pct(rate, 2));
+        }
+        cov.addRow(cov_row);
+        fp.addRow(fp_row);
+    }
+
+    auto addMean = [&](TextTable &t,
+                       std::vector<std::vector<double>> &cols) {
+        std::vector<std::string> row{"mean"};
+        for (auto &c : cols)
+            row.push_back(TextTable::pct(bench::mean(c)));
+        t.addRow(row);
+    };
+    addMean(cov, cov_cols);
+    addMean(fp, fp_cols);
+
+    std::cout << "Figure 8(a): SDC coverage (" << cfg.injections
+              << " injections per benchmark per scheme)\n(paper: PBFS "
+                 "~30%, PBFS-biased ~75-80%, FH-backend < FaultHound "
+                 "~75%)\n\n";
+    cov.print(std::cout);
+
+    std::cout << "\nFigure 8(b): false-positive rate, fraction of "
+                 "committed instructions (fault-free run of "
+              << fp_budget
+              << " instructions)\n(paper: PBFS ~0%, PBFS-biased ~8%, "
+                 "FaultHound ~3%)\n\n";
+    fp.print(std::cout);
+    return 0;
+}

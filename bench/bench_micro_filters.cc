@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the filter structures: the
+ * filters are checked on every load/store completion and commit, so
+ * their software cost bounds the simulator's throughput (and their
+ * modeled hardware cost is what Section 3.1's TCAM-size argument is
+ * about).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "filters/detector.hh"
+#include "filters/pbfs.hh"
+#include "filters/second_level.hh"
+#include "filters/tcam.hh"
+#include "sim/rng.hh"
+
+using namespace fh;
+using namespace fh::filters;
+
+namespace
+{
+
+std::vector<u64>
+counterStream(size_t n)
+{
+    std::vector<u64> values;
+    values.reserve(n);
+    Rng rng(1);
+    for (size_t i = 0; i < n; ++i)
+        values.push_back(0x20000000 + (i % 512) * 8 +
+                         (rng.chance(0.1) ? 4096 : 0));
+    return values;
+}
+
+} // namespace
+
+static void
+BM_TcamLookup(benchmark::State &state)
+{
+    TcamParams params;
+    params.entries = static_cast<unsigned>(state.range(0));
+    CountingTcam tcam(params);
+    auto values = counterStream(4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tcam.lookup(values[i++ & 4095]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcamLookup)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+static void
+BM_TcamProbe(benchmark::State &state)
+{
+    CountingTcam tcam({32, 4, CounterConfig::biased()});
+    auto values = counterStream(4096);
+    for (u64 v : values)
+        tcam.lookup(v);
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tcam.probe(values[i++ & 4095]));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcamProbe);
+
+static void
+BM_PbfsCheck(benchmark::State &state)
+{
+    PbfsTable table({2048, 10000, CounterConfig::sticky()});
+    auto values = counterStream(4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        size_t k = i++ & 4095;
+        benchmark::DoNotOptimize(table.check(k & 63, values[k]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PbfsCheck);
+
+static void
+BM_SecondLevelTrigger(benchmark::State &state)
+{
+    SecondLevelFilter second(8);
+    Rng rng(2);
+    std::vector<u64> masks(1024);
+    for (auto &m : masks)
+        m = 1ULL << rng.below(16);
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(second.onTrigger(masks[i++ & 1023]));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SecondLevelTrigger);
+
+static void
+BM_DetectorCheckComplete(benchmark::State &state)
+{
+    Detector det(DetectorParams::faultHound());
+    auto values = counterStream(4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        size_t k = i++ & 4095;
+        benchmark::DoNotOptimize(det.checkComplete(
+            StreamKind::LoadAddr, k & 63, values[k], false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorCheckComplete);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses (one binary per paper
+ * table/figure). Every harness honors these environment knobs:
+ *
+ *   FH_BENCH       run only the named benchmark (default: all 14)
+ *   FH_INSTS       instruction budget of timing runs
+ *   FH_INJECTIONS  fault injections per campaign
+ *   FH_WINDOW      run-window length (instructions, paper: 1000)
+ *   FH_SEED        master seed
+ */
+
+#ifndef FH_BENCH_HARNESS_HH
+#define FH_BENCH_HARNESS_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "filters/detector.hh"
+#include "pipeline/core.hh"
+#include "sim/text_table.hh"
+#include "workload/workload.hh"
+
+namespace fh::bench
+{
+
+inline u64
+envU64(const char *name, u64 def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 0) : def;
+}
+
+inline std::string
+envStr(const char *name, const std::string &def)
+{
+    const char *v = std::getenv(name);
+    return v ? v : def;
+}
+
+/** Benchmarks selected by FH_BENCH (default: all of Table 1). */
+inline std::vector<workload::BenchmarkInfo>
+selectedBenchmarks()
+{
+    const std::string pick = envStr("FH_BENCH", "");
+    std::vector<workload::BenchmarkInfo> out;
+    for (const auto &info : workload::all())
+        if (pick.empty() || info.name == pick)
+            out.push_back(info);
+    return out;
+}
+
+/** Build a benchmark program for the given SMT context count. */
+inline isa::Program
+buildProgram(const workload::BenchmarkInfo &info, unsigned max_threads)
+{
+    workload::WorkloadSpec spec;
+    spec.maxThreads = max_threads;
+    spec.seed = envU64("FH_SEED", 0x5eedULL);
+    return info.build(spec);
+}
+
+/** Table 2 core with the given detector attached. */
+inline pipeline::CoreParams
+coreParams(const filters::DetectorParams &det)
+{
+    pipeline::CoreParams params;
+    params.detector = det;
+    return params;
+}
+
+/**
+ * Run a fresh core until every thread commits its equal share of
+ * inst_budget (frozen precisely, so schemes are compared on identical
+ * per-thread work); returns the core for stats.
+ */
+inline pipeline::Core
+runBudget(const pipeline::CoreParams &params, const isa::Program *prog,
+          u64 inst_budget)
+{
+    pipeline::Core core(params, prog);
+    core.runPerThreadBudget(inst_budget / core.numThreads(),
+                            inst_budget * 200 + 1000000);
+    return core;
+}
+
+/** The four screening schemes of Figure 8, in paper order. */
+struct SchemeDef
+{
+    std::string label;
+    filters::DetectorParams params;
+};
+
+inline std::vector<SchemeDef>
+fig8Schemes()
+{
+    return {
+        {"PBFS", filters::DetectorParams::pbfsSticky()},
+        {"PBFS-biased", filters::DetectorParams::pbfsBiased()},
+        {"FH-backend", filters::DetectorParams::faultHoundBackend()},
+        {"FaultHound", filters::DetectorParams::faultHound()},
+    };
+}
+
+/** False-positive recovery actions per committed instruction. */
+inline double
+fpRate(const pipeline::Core &core)
+{
+    const auto &d = core.detector().stats();
+    const u64 committed = core.stats().committed;
+    if (committed == 0)
+        return 0.0;
+    return static_cast<double>(d.replays + d.rollbacks +
+                               d.commitTriggers) /
+           static_cast<double>(committed);
+}
+
+/**
+ * Steady-state false-positive rate: run a warmup quarter of the
+ * budget (filters train, caches warm), then measure recovery actions
+ * per instruction over the remainder.
+ */
+inline double
+fpRateSteady(const pipeline::CoreParams &params, const isa::Program *prog,
+             u64 inst_budget)
+{
+    pipeline::Core core(params, prog);
+    const u64 per_thread = inst_budget / core.numThreads();
+    const Cycle bound = inst_budget * 200 + 1000000;
+    core.runPerThreadBudget(per_thread / 4, bound);
+    const auto warm = core.detector().stats();
+    const u64 committed_warm = core.stats().committed;
+    core.runPerThreadBudget(per_thread, bound);
+    const auto &d = core.detector().stats();
+    const u64 committed = core.stats().committed - committed_warm;
+    if (committed == 0)
+        return 0.0;
+    return static_cast<double>((d.replays - warm.replays) +
+                               (d.rollbacks - warm.rollbacks) +
+                               (d.commitTriggers - warm.commitTriggers)) /
+           static_cast<double>(committed);
+}
+
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Default campaign configuration from the environment. */
+inline fault::CampaignConfig
+campaignConfig()
+{
+    fault::CampaignConfig cfg;
+    cfg.injections = envU64("FH_INJECTIONS", 120);
+    cfg.window = envU64("FH_WINDOW", 1000);
+    cfg.seed = envU64("FH_SEED", 1);
+    return cfg;
+}
+
+} // namespace fh::bench
+
+#endif // FH_BENCH_HARNESS_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * fhsim — the command-line simulator driver, the binary a downstream
+ * user actually runs. Configures the core from key=value options (file
+ * and/or command line), runs a benchmark under a chosen scheme, and
+ * dumps gem5-style stats; optionally runs a fault-injection campaign.
+ *
+ * Usage:
+ *   fhsim [--config FILE] [key=value ...]
+ *
+ * Options (defaults in parentheses):
+ *   bench          benchmark name                 (400.perl)
+ *   scheme         none|pbfs|pbfs-biased|fh-backend|faulthound
+ *                                                  (faulthound)
+ *   insts          per-thread instruction budget  (100000)
+ *   threads        SMT contexts                   (2)
+ *   seed           workload/data seed             (0x5eed)
+ *   tcam.entries   first-level TCAM entries       (32)
+ *   tcam.threshold loosen threshold               (4)
+ *   delay_buffer   delay buffer entries           (16)
+ *   campaign       run a fault campaign too       (false)
+ *   injections     campaign injections            (300)
+ *   window         campaign run window            (1000)
+ *
+ * Example:
+ *   fhsim bench=429.mcf scheme=pbfs-biased insts=200000
+ *   fhsim bench=apache campaign=true injections=500
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "fault/campaign.hh"
+#include "energy/energy_model.hh"
+#include "pipeline/stats_dump.hh"
+#include "sim/config.hh"
+#include "workload/workload.hh"
+
+using namespace fh;
+
+namespace
+{
+
+bool
+schemeFromName(const std::string &name, filters::DetectorParams &out)
+{
+    if (name == "none")
+        out = filters::DetectorParams::none();
+    else if (name == "pbfs")
+        out = filters::DetectorParams::pbfsSticky();
+    else if (name == "pbfs-biased")
+        out = filters::DetectorParams::pbfsBiased();
+    else if (name == "fh-backend")
+        out = filters::DetectorParams::faultHoundBackend();
+    else if (name == "faulthound")
+        out = filters::DetectorParams::faultHound();
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    std::string error;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: fhsim [--config FILE] [key=value ...]"
+                        "\nsee the file header for the option list\n");
+            return 0;
+        }
+        if (arg == "--config") {
+            if (i + 1 >= argc || !cfg.parseFile(argv[++i], error)) {
+                std::fprintf(stderr, "fhsim: %s\n", error.c_str());
+                return 1;
+            }
+            continue;
+        }
+        if (!cfg.set(arg)) {
+            std::fprintf(stderr, "fhsim: bad option '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+
+    const std::string bench = cfg.getString("bench", "400.perl");
+    if (!workload::find(bench)) {
+        std::fprintf(stderr, "fhsim: unknown benchmark '%s'; pick "
+                             "one of:\n",
+                     bench.c_str());
+        for (const auto &info : workload::all())
+            std::fprintf(stderr, "  %s\n", info.name.c_str());
+        return 1;
+    }
+
+    workload::WorkloadSpec spec;
+    spec.maxThreads =
+        std::max<unsigned>(2, static_cast<unsigned>(
+                                  cfg.getU64("threads", 2)));
+    spec.seed = cfg.getU64("seed", 0x5eedULL);
+    isa::Program prog = workload::build(bench, spec);
+
+    pipeline::CoreParams params;
+    params.threads =
+        static_cast<unsigned>(cfg.getU64("threads", 2));
+    if (!schemeFromName(cfg.getString("scheme", "faulthound"),
+                        params.detector)) {
+        std::fprintf(stderr, "fhsim: unknown scheme '%s'\n",
+                     cfg.getString("scheme", "").c_str());
+        return 1;
+    }
+    params.detector.tcam.entries = static_cast<unsigned>(
+        cfg.getU64("tcam.entries", params.detector.tcam.entries));
+    params.detector.tcam.loosenThreshold =
+        static_cast<unsigned>(cfg.getU64(
+            "tcam.threshold", params.detector.tcam.loosenThreshold));
+    params.delayBufferSize = static_cast<unsigned>(
+        cfg.getU64("delay_buffer", params.delayBufferSize));
+
+    const u64 insts = cfg.getU64("insts", 100000);
+    std::fprintf(stderr,
+                 "fhsim: %s, scheme %s, %llu insts/thread, %u "
+                 "threads\n",
+                 bench.c_str(),
+                 filters::to_string(params.detector.scheme).c_str(),
+                 static_cast<unsigned long long>(insts),
+                 params.threads);
+
+    pipeline::Core core(params, &prog);
+    core.runPerThreadBudget(insts, insts * 400 + 1000000);
+    pipeline::dumpStats(core, std::cout);
+
+    auto e = energy::computeEnergy(core);
+    std::printf("%-34s%-16.0f# dynamic+static energy (arb. units)\n",
+                "energy.total", e.total());
+    std::printf("%-34s%-16.0f# filter-table energy\n",
+                "energy.detector", e.detector);
+
+    if (cfg.getBool("campaign", false)) {
+        fault::CampaignConfig ccfg;
+        ccfg.injections = cfg.getU64("injections", 300);
+        ccfg.window = cfg.getU64("window", 1000);
+        ccfg.seed = cfg.getU64("seed", 1);
+        std::fprintf(stderr, "fhsim: running %llu-injection "
+                             "campaign...\n",
+                     static_cast<unsigned long long>(ccfg.injections));
+        auto r = fault::runCampaign(params, &prog, ccfg);
+        std::printf("%-34s%-16.4f# fraction of injections\n",
+                    "campaign.masked", r.maskedFrac());
+        std::printf("%-34s%-16.4f# fraction of injections\n",
+                    "campaign.noisy", r.noisyFrac());
+        std::printf("%-34s%-16.4f# fraction of injections\n",
+                    "campaign.sdc", r.sdcFrac());
+        std::printf("%-34s%-16.4f# of SDC faults\n",
+                    "campaign.coverage", r.coverage());
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "energy/cacti_lite.hh"
+
+#include <cmath>
+
+namespace fh::energy
+{
+
+namespace
+{
+
+// Reference: a 32 KB array (262144 bits) costs 0.5 units per access,
+// the same as the L1 D-cache in the core energy table. Energy scales
+// roughly with sqrt(bits) (bitline + wordline length in a square
+// layout), with a fixed decoder/sense floor.
+constexpr double referenceBits = 262144.0;
+constexpr double referenceEnergy = 0.5;
+constexpr double floorEnergy = 0.004;
+
+} // namespace
+
+double
+sramAccessEnergy(u64 entries, unsigned bits_per_entry)
+{
+    const double bits =
+        static_cast<double>(entries) * bits_per_entry;
+    return floorEnergy +
+           (referenceEnergy - floorEnergy) *
+               std::sqrt(bits / referenceBits);
+}
+
+double
+tcamAccessEnergy(u64 entries, unsigned bits_per_entry)
+{
+    // Every entry's match line switches on a search: linear in the
+    // number of searched bits, with a CAM cell costing ~2x an SRAM
+    // cell per activated bit. Normalized against the same reference.
+    const double bits =
+        static_cast<double>(entries) * bits_per_entry;
+    return floorEnergy + 2.0 * referenceEnergy * (bits / referenceBits);
+}
+
+} // namespace fh::energy

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CACTI-flavored analytical per-access energy estimates for SRAM
+ * tables and TCAMs. Only *relative* magnitudes matter for the paper's
+ * energy figures; the model is normalized so that a 32 KB SRAM array
+ * (an L1-D-sized structure, or PBFS's 2K-entry filter table) costs
+ * roughly the paper's reference unit — the point of Section 3.1 being
+ * that FaultHound's 32-entry TCAMs are orders of magnitude cheaper.
+ */
+
+#ifndef FH_ENERGY_CACTI_LITE_HH
+#define FH_ENERGY_CACTI_LITE_HH
+
+#include "sim/types.hh"
+
+namespace fh::energy
+{
+
+/** Per-access energy (arbitrary units) of an SRAM array. */
+double sramAccessEnergy(u64 entries, unsigned bits_per_entry);
+
+/** Per-access energy of a TCAM search across all entries. */
+double tcamAccessEnergy(u64 entries, unsigned bits_per_entry);
+
+} // namespace fh::energy
+
+#endif // FH_ENERGY_CACTI_LITE_HH

@@ -1,0 +1,47 @@
+#include "energy/energy_model.hh"
+
+#include "energy/cacti_lite.hh"
+
+namespace fh::energy
+{
+
+EnergyBreakdown
+computeEnergy(const pipeline::Core &core, const EnergyParams &p)
+{
+    const auto &s = core.stats();
+    EnergyBreakdown e;
+
+    e.pipeline += p.fetchDecode * static_cast<double>(s.fetched);
+    e.pipeline += p.rename * static_cast<double>(s.dispatched);
+    e.pipeline += p.iq * static_cast<double>(s.dispatched + s.issued);
+    e.pipeline += p.regRead * static_cast<double>(s.regReads);
+    e.pipeline += p.regWrite * static_cast<double>(s.regWrites);
+    e.pipeline += p.execute * static_cast<double>(s.issued);
+    e.pipeline += p.lsq * static_cast<double>(s.loads + s.stores);
+    e.pipeline += p.rob * static_cast<double>(s.dispatched + s.committed);
+
+    const auto &l1d = core.hierarchy().l1d();
+    const auto &l2 = core.hierarchy().l2();
+    e.memory += p.l1d * static_cast<double>(l1d.hits() + l1d.misses());
+    e.memory += p.l2 * static_cast<double>(l2.hits() + l2.misses());
+    e.memory += p.dram * static_cast<double>(l2.misses());
+
+    const auto &det = core.detector();
+    if (det.active()) {
+        double per_access = 0.0;
+        const auto &dp = det.params();
+        if (dp.scheme == filters::Scheme::FaultHound && dp.clustering) {
+            // Ternary entries: 2 bits of CAM state per value bit,
+            // plus the stored previous value.
+            per_access = tcamAccessEnergy(dp.tcam.entries, 3 * wordBits);
+        } else {
+            per_access = sramAccessEnergy(dp.pbfs.entries, 3 * wordBits);
+        }
+        e.detector = per_access * static_cast<double>(det.filterAccesses());
+    }
+
+    e.leakage = p.leakPerCycle * static_cast<double>(s.cycles);
+    return e;
+}
+
+} // namespace fh::energy

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Event-based core energy model in the spirit of McPAT: each pipeline
+ * event carries a per-event energy in arbitrary units with relative
+ * magnitudes matching an out-of-order core's published breakdowns,
+ * plus per-cycle leakage. Replay and rollback overheads appear
+ * naturally through the extra fetch/issue/regfile events they cause;
+ * the detector's filter accesses are costed through the CACTI-lite
+ * estimators.
+ */
+
+#ifndef FH_ENERGY_ENERGY_MODEL_HH
+#define FH_ENERGY_ENERGY_MODEL_HH
+
+#include "pipeline/core.hh"
+#include "sim/types.hh"
+
+namespace fh::energy
+{
+
+/** Per-event energies (arbitrary units; see cacti_lite.hh). */
+struct EnergyParams
+{
+    double fetchDecode = 0.45; ///< per fetched instruction (incl. L1I)
+    double rename = 0.15;      ///< per dispatched instruction
+    double iq = 0.20;          ///< per dispatch + per issue (wakeup/select)
+    double regRead = 0.08;     ///< per operand read
+    double regWrite = 0.12;    ///< per result write
+    double execute = 0.30;     ///< per issued instruction (FU)
+    double lsq = 0.15;         ///< per load/store dispatched
+    double rob = 0.10;         ///< per dispatch + per commit
+    double l1d = 0.50;         ///< per L1 D access
+    double l2 = 1.80;          ///< per L2 access
+    double dram = 18.0;        ///< per memory access
+    double leakPerCycle = 1.0; ///< static energy per core cycle
+};
+
+/** Energy totals, split for reporting. */
+struct EnergyBreakdown
+{
+    double pipeline = 0.0; ///< fetch..commit dynamic energy
+    double memory = 0.0;   ///< D-cache hierarchy dynamic energy
+    double detector = 0.0; ///< filter tables / TCAM accesses
+    double leakage = 0.0;
+
+    double total() const
+    {
+        return pipeline + memory + detector + leakage;
+    }
+};
+
+/** Cost a finished (or in-progress) core run. */
+EnergyBreakdown computeEnergy(const pipeline::Core &core,
+                              const EnergyParams &params = {});
+
+} // namespace fh::energy
+
+#endif // FH_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,142 @@
+#include "fault/campaign.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::fault
+{
+
+namespace
+{
+
+/** Detector-stat deltas observed by a protected faulty fork. */
+struct DetectorDelta
+{
+    u64 triggers = 0;
+    u64 suppressed = 0;
+    u64 replays = 0;
+    u64 rollbacks = 0;
+    u64 commitTriggers = 0;
+};
+
+DetectorDelta
+deltaOf(const pipeline::Core &fork, const pipeline::Core &master)
+{
+    const auto &f = fork.detector().stats();
+    const auto &m = master.detector().stats();
+    return {f.triggers - m.triggers, f.suppressed - m.suppressed,
+            f.replays - m.replays, f.rollbacks - m.rollbacks,
+            f.commitTriggers - m.commitTriggers};
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
+            const CampaignConfig &cfg)
+{
+    pipeline::Core master(params, prog);
+    Rng rng(cfg.seed);
+    CampaignResult result;
+
+    // Warm up caches, predictors and filters.
+    while (master.committedTotal() < cfg.warmupInsts &&
+           !master.allHalted()) {
+        master.tick();
+    }
+    if (master.allHalted())
+        fh_fatal("workload '%s' halted during warmup; "
+                 "increase its iteration count",
+                 prog->name.c_str());
+
+    for (u64 i = 0; i < cfg.injections; ++i) {
+        // Advance the master to the next injection point.
+        const Cycle gap = rng.range(cfg.minGap, cfg.maxGap);
+        for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
+            master.tick();
+        if (master.allHalted())
+            break;
+
+        const InjectionPlan plan = drawPlan(master, cfg.mix, rng);
+        const auto targets = windowTargets(master, cfg.window);
+
+        // Record register lifetime phase before any fork runs.
+        pipeline::PregPhase phase = pipeline::PregPhase::Free;
+        if (plan.target == Target::RegFile)
+            phase = master.pregPhase(plan.preg);
+
+        ++result.injected;
+
+        // Golden fork: no fault, detector checks off (architecturally
+        // identical to a protected run; faster).
+        ForkOutcome golden =
+            runFork(master, nullptr, false, targets, cfg.forkMaxCycles);
+
+        // Unprotected faulty fork: classifies the fault itself.
+        ForkOutcome bare =
+            runFork(master, &plan, false, targets, cfg.forkMaxCycles);
+
+        const bool noisy = bare.trapped != golden.trapped ||
+                           !bare.reachedTargets;
+        if (noisy) {
+            ++result.noisy;
+            continue;
+        }
+        if (archEquals(bare.core, golden.core)) {
+            ++result.masked;
+            continue;
+        }
+        ++result.sdc;
+
+        if (params.detector.scheme == filters::Scheme::None) {
+            ++result.uncovered;
+            ++result.bins.other;
+            continue;
+        }
+
+        // Protected faulty fork: does the scheme cover the fault?
+        ForkOutcome prot =
+            runFork(master, &plan, true, targets, cfg.forkMaxCycles);
+
+        const bool det = prot.core.faultDetected() ||
+                         (prot.trapped && !golden.trapped);
+        const bool recov = prot.reachedTargets && !prot.trapped &&
+                           archEquals(prot.core, golden.core);
+
+        if (recov && !det) {
+            ++result.recovered;
+            ++result.bins.covered;
+            continue;
+        }
+        if (det) {
+            ++result.detected;
+            ++result.bins.covered;
+            continue;
+        }
+        ++result.uncovered;
+
+        // Figure 11 binning for the uncovered fault.
+        if (plan.target == Target::Rename) {
+            ++result.bins.renameUncovered;
+            continue;
+        }
+        DetectorDelta d = deltaOf(prot.core, master);
+        if (d.triggers == 0) {
+            ++result.bins.noTrigger;
+        } else if (d.suppressed > 0 && d.replays == 0 &&
+                   d.rollbacks == 0 && d.commitTriggers == 0) {
+            ++result.bins.secondLevelMasked;
+        } else if (plan.target == Target::RegFile &&
+                   (phase == pipeline::PregPhase::Completed ||
+                    phase == pipeline::PregPhase::Architectural)) {
+            ++result.bins.completedReg;
+            if (phase == pipeline::PregPhase::Architectural)
+                ++result.bins.archReg;
+        } else {
+            ++result.bins.other;
+        }
+    }
+
+    return result;
+}
+
+} // namespace fh::fault

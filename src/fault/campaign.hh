@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fault-injection campaign (Section 4): a master simulation advances
+ * with the detector active (so the filters stay trained); at random
+ * points the machine is forked into a golden copy, an unprotected
+ * faulty copy (for masked/noisy/SDC classification), and — for SDC
+ * faults — a protected faulty copy whose outcome decides coverage.
+ * The campaign also bins uncovered SDC faults into the Figure 11
+ * categories.
+ */
+
+#ifndef FH_FAULT_CAMPAIGN_HH
+#define FH_FAULT_CAMPAIGN_HH
+
+#include "fault/injector.hh"
+#include "fault/tandem.hh"
+#include "isa/program.hh"
+#include "pipeline/core.hh"
+#include "sim/rng.hh"
+
+namespace fh::fault
+{
+
+struct CampaignConfig
+{
+    u64 injections = 300;
+    /** Run window per thread after injection (instructions). */
+    u64 window = 1000;
+    /** Master warmup before the first injection (instructions). */
+    u64 warmupInsts = 20000;
+    /** Master cycles between injection points. */
+    Cycle minGap = 100;
+    Cycle maxGap = 600;
+    /** Fork cycle budget (safety bound for hung runs). */
+    Cycle forkMaxCycles = 400000;
+    u64 seed = 1;
+    InjectionMix mix{};
+};
+
+/** Figure 11 bins for SDC faults. */
+struct SdcBins
+{
+    u64 covered = 0;
+    u64 secondLevelMasked = 0; ///< trigger suppressed by the 2nd level
+    u64 completedReg = 0;      ///< completed/committed register fault
+    u64 archReg = 0;           ///< diagnostic subset of completedReg:
+                               ///< architectural (long-lived) values
+    u64 renameUncovered = 0;   ///< uncovered rename-table fault
+    u64 noTrigger = 0;         ///< the fault never tripped a filter
+    u64 other = 0;
+};
+
+struct CampaignResult
+{
+    u64 injected = 0;
+    u64 masked = 0;
+    u64 noisy = 0;
+    u64 sdc = 0;
+
+    u64 recovered = 0; ///< SDC repaired (state matches golden)
+    u64 detected = 0;  ///< SDC declared by the LSQ compare / exception
+    u64 uncovered = 0;
+
+    SdcBins bins;
+
+    u64 covered() const { return recovered + detected; }
+    double coverage() const
+    {
+        return sdc ? static_cast<double>(covered()) / sdc : 0.0;
+    }
+    double maskedFrac() const
+    {
+        return injected ? static_cast<double>(masked) / injected : 0.0;
+    }
+    double noisyFrac() const
+    {
+        return injected ? static_cast<double>(noisy) / injected : 0.0;
+    }
+    double sdcFrac() const
+    {
+        return injected ? static_cast<double>(sdc) / injected : 0.0;
+    }
+};
+
+/** Run a campaign on one core configuration and program. */
+CampaignResult runCampaign(const pipeline::CoreParams &params,
+                           const isa::Program *prog,
+                           const CampaignConfig &cfg);
+
+} // namespace fh::fault
+
+#endif // FH_FAULT_CAMPAIGN_HH

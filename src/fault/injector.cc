@@ -1,0 +1,83 @@
+#include "fault/injector.hh"
+
+#include <bit>
+
+namespace fh::fault
+{
+
+std::string
+to_string(Target target)
+{
+    switch (target) {
+      case Target::RegFile: return "regfile";
+      case Target::Lsq: return "lsq";
+      case Target::Rename: return "rename";
+      case Target::None: return "idle";
+    }
+    return "?";
+}
+
+InjectionPlan
+drawPlan(const pipeline::Core &core, const InjectionMix &mix, Rng &rng)
+{
+    InjectionPlan plan;
+    const double r = rng.uniform();
+    if (r < mix.renameFrac) {
+        plan.target = Target::Rename;
+        plan.tid = static_cast<unsigned>(rng.below(core.numThreads()));
+        plan.arch =
+            1 + static_cast<unsigned>(rng.below(isa::numArchRegs - 1));
+        const unsigned tag_bits = static_cast<unsigned>(
+            std::bit_width(core.numPhysRegs() - 1u));
+        plan.bit = static_cast<unsigned>(rng.below(tag_bits));
+    } else if (r < mix.renameFrac + mix.lsqFrac) {
+        plan.target = Target::Lsq;
+        plan.lsqNth = static_cast<unsigned>(
+            rng.below(core.params().lsqSize));
+        plan.lsqAddrField = rng.chance(0.5);
+        plan.bit = static_cast<unsigned>(rng.below(wordBits));
+    } else {
+        plan.target = Target::RegFile;
+        plan.bit = static_cast<unsigned>(rng.below(wordBits));
+        if (rng.chance(mix.inflightFrac)) {
+            // Datapath-fault emulation: corrupt a just-produced value.
+            // If nothing completed near this cycle the strike hits
+            // idle logic and is trivially masked.
+            auto inflight = core.inflightDestPregs();
+            if (inflight.empty()) {
+                plan.target = Target::None;
+            } else {
+                plan.preg = inflight[rng.below(inflight.size())];
+            }
+        } else {
+            plan.preg =
+                static_cast<unsigned>(rng.below(core.numPhysRegs()));
+        }
+    }
+    return plan;
+}
+
+bool
+apply(pipeline::Core &core, const InjectionPlan &plan)
+{
+    switch (plan.target) {
+      case Target::RegFile:
+        core.injectRegfileBit(plan.preg, plan.bit);
+        return true;
+      case Target::Lsq: {
+        unsigned occupied = core.lsqOccupied();
+        if (occupied == 0)
+            return false;
+        return core.injectLsqBit(plan.lsqNth % occupied,
+                                 plan.lsqAddrField, plan.bit);
+      }
+      case Target::Rename:
+        core.injectRenameBit(plan.tid, plan.arch, plan.bit);
+        return true;
+      case Target::None:
+        return false;
+    }
+    return false;
+}
+
+} // namespace fh::fault

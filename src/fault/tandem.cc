@@ -1,0 +1,45 @@
+#include "fault/tandem.hh"
+
+namespace fh::fault
+{
+
+std::vector<u64>
+windowTargets(const pipeline::Core &base, u64 window)
+{
+    std::vector<u64> targets(base.numThreads());
+    for (unsigned tid = 0; tid < base.numThreads(); ++tid)
+        targets[tid] = base.committed(tid) + window;
+    return targets;
+}
+
+ForkOutcome
+runFork(const pipeline::Core &base, const InjectionPlan *plan,
+        bool detector_enabled, const std::vector<u64> &targets,
+        Cycle max_cycles)
+{
+    ForkOutcome out{base, false, false};
+    out.core.setDetectorEnabled(detector_enabled);
+    // Freeze each thread at exactly its commit target so both tandem
+    // copies sample architectural state at the same per-thread point.
+    for (unsigned tid = 0; tid < out.core.numThreads(); ++tid)
+        out.core.threadOptions(tid).stopAfterInsts = targets[tid];
+    if (plan)
+        apply(out.core, *plan);
+    out.reachedTargets = out.core.runUntilCommitted(targets, max_cycles);
+    out.trapped = out.core.anyTrap();
+    return out;
+}
+
+bool
+archEquals(const pipeline::Core &x, const pipeline::Core &y)
+{
+    if (x.numThreads() != y.numThreads())
+        return false;
+    for (unsigned tid = 0; tid < x.numThreads(); ++tid) {
+        if (x.archState(tid) != y.archState(tid))
+            return false;
+    }
+    return x.memory().sameContents(y.memory());
+}
+
+} // namespace fh::fault

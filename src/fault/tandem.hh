@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tandem execution (Section 4): fork the machine at an injection
+ * point, run a golden and a fault-injected copy for a run window, and
+ * compare architectural state. Any difference in raised exceptions
+ * marks a noisy fault; identical state marks a masked fault; the rest
+ * are silent data corruptions (SDC).
+ */
+
+#ifndef FH_FAULT_TANDEM_HH
+#define FH_FAULT_TANDEM_HH
+
+#include <vector>
+
+#include "fault/injector.hh"
+#include "pipeline/core.hh"
+#include "sim/types.hh"
+
+namespace fh::fault
+{
+
+/** Result of one forked run-window execution. */
+struct ForkOutcome
+{
+    pipeline::Core core;
+    bool reachedTargets = false; ///< false = hung within maxCycles
+    bool trapped = false;
+};
+
+/** Per-thread commit targets for a run window starting at base. */
+std::vector<u64> windowTargets(const pipeline::Core &base, u64 window);
+
+/**
+ * Copy base, optionally inject plan, optionally enable the detector,
+ * and run until the per-thread targets (bounded by max_cycles).
+ */
+ForkOutcome runFork(const pipeline::Core &base, const InjectionPlan *plan,
+                    bool detector_enabled, const std::vector<u64> &targets,
+                    Cycle max_cycles);
+
+/**
+ * Architectural equivalence: per-thread registers, commit PCs, halt
+ * flags, and full memory contents.
+ */
+bool archEquals(const pipeline::Core &x, const pipeline::Core &y);
+
+} // namespace fh::fault
+
+#endif // FH_FAULT_TANDEM_HH

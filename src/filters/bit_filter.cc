@@ -1,0 +1,66 @@
+#include "filters/bit_filter.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace fh::filters
+{
+
+BitFilter::BitFilter(CounterConfig cfg) : cfg_(cfg) {}
+
+void
+BitFilter::install(u64 value)
+{
+    prev_ = value;
+    unchangingMask_ = ~0ULL;
+    counts_.fill(0);
+}
+
+unsigned
+BitFilter::mismatchCount(u64 value) const
+{
+    return static_cast<unsigned>(std::popcount(mismatchMask(value)));
+}
+
+u64
+BitFilter::observe(u64 value)
+{
+    const u64 changed = prev_ ^ value;
+    const u64 alarm = changed & unchangingMask_;
+
+    u64 mask = 0;
+    for (unsigned bit = 0; bit < wordBits; ++bit) {
+        u8 &count = counts_[bit];
+        const bool bit_changed = (changed >> bit) & 1;
+        switch (cfg_.kind) {
+          case CounterKind::Sticky:
+            if (bit_changed)
+                count = 1;
+            break;
+          case CounterKind::Standard:
+          case CounterKind::Biased:
+            if (bit_changed) {
+                count = std::min<u8>(
+                    static_cast<u8>(count + cfg_.jump), cfg_.maxCount);
+            } else if (count > 0) {
+                --count;
+            }
+            break;
+        }
+        if (count == 0)
+            mask |= 1ULL << bit;
+    }
+
+    unchangingMask_ = mask;
+    prev_ = value;
+    return alarm;
+}
+
+void
+BitFilter::clear()
+{
+    counts_.fill(0);
+    unchangingMask_ = ~0ULL;
+}
+
+} // namespace fh::filters

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A 64-bit bit-mask filter: one per-bit counter plus the previous
+ * value. Together they encode the ternary neighborhood of Figure 1
+ * ("unchanging 0", "unchanging 1", "changing wildcard").
+ *
+ * The per-bit counter flavor is configurable so the same structure
+ * serves PBFS (one-bit sticky), PBFS-biased and FaultHound's TCAM
+ * entries (biased two-bit), and the state-machine-depth ablation
+ * (three-bit biased, Section 3).
+ */
+
+#ifndef FH_FILTERS_BIT_FILTER_HH
+#define FH_FILTERS_BIT_FILTER_HH
+
+#include <array>
+
+#include "sim/types.hh"
+
+namespace fh::filters
+{
+
+/** Per-bit counter flavor. */
+enum class CounterKind : u8
+{
+    Sticky,   ///< PBFS one-bit sticky counter
+    Standard, ///< unbiased saturating counter (Figure 2(a))
+    Biased    ///< biased machine (Figure 2(b)); depth configurable
+};
+
+/** Counter configuration shared by every bit of a filter. */
+struct CounterConfig
+{
+    CounterKind kind = CounterKind::Biased;
+    /** Deepest changing state (1 for sticky, 3 for two-bit machines,
+     *  7 for the three-bit ablation). */
+    u8 maxCount = 3;
+    /** How far from "unchanging" a change throws the counter. A jump
+     *  of 2 realizes the two-consecutive-no-changes bias. */
+    u8 jump = 2;
+
+    static CounterConfig sticky() { return {CounterKind::Sticky, 1, 1}; }
+    static CounterConfig standard()
+    {
+        return {CounterKind::Standard, 3, 1};
+    }
+    static CounterConfig biased() { return {CounterKind::Biased, 3, 2}; }
+    /** Three-bit biased machine for the Section 3 depth ablation. */
+    static CounterConfig biased3() { return {CounterKind::Biased, 7, 4}; }
+
+    bool operator==(const CounterConfig &other) const = default;
+};
+
+/**
+ * One bit-mask filter over 64-bit values. A bit is "unchanging" while
+ * its counter is zero; the cached unchanging mask makes the mismatch
+ * check a single XOR + AND + popcount.
+ */
+class BitFilter
+{
+  public:
+    explicit BitFilter(CounterConfig cfg = CounterConfig::biased());
+
+    /** (Re)install the filter around value: all bits unchanging. */
+    void install(u64 value);
+
+    /** Bits that are unchanging yet differ from the previous value. */
+    u64 mismatchMask(u64 value) const
+    {
+        return (prev_ ^ value) & unchangingMask_;
+    }
+
+    /** Number of mismatching unchanging bits. */
+    unsigned mismatchCount(u64 value) const;
+
+    /**
+     * Observe value: every bit's counter sees change/no-change relative
+     * to the previous value, and the previous value becomes value.
+     * Returns the mismatch mask the observation alarmed on (bits that
+     * changed while unchanging).
+     */
+    u64 observe(u64 value);
+
+    /** PBFS periodic flash clear: all counters back to unchanging. */
+    void clear();
+
+    u64 prev() const { return prev_; }
+    u64 unchangingMask() const { return unchangingMask_; }
+    u8 counterAt(unsigned bit) const { return counts_[bit]; }
+    const CounterConfig &config() const { return cfg_; }
+
+    bool operator==(const BitFilter &other) const = default;
+
+  private:
+    CounterConfig cfg_;
+    u64 prev_ = 0;
+    u64 unchangingMask_ = ~0ULL;
+    std::array<u8, wordBits> counts_{};
+};
+
+} // namespace fh::filters
+
+#endif // FH_FILTERS_BIT_FILTER_HH

@@ -1,0 +1,41 @@
+#include "filters/pbfs.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::filters
+{
+
+PbfsTable::PbfsTable(const PbfsParams &params) : params_(params)
+{
+    fh_assert(params_.entries > 0, "PBFS table needs entries");
+    entries_.resize(params_.entries,
+                    Entry{BitFilter(params_.counters), false});
+}
+
+PbfsResult
+PbfsTable::check(u64 pc, u64 value)
+{
+    ++accesses_;
+    if (params_.counters.kind == CounterKind::Sticky &&
+        params_.clearInterval > 0 &&
+        accesses_ % params_.clearInterval == 0) {
+        for (auto &entry : entries_)
+            entry.filter.clear();
+        ++clears_;
+    }
+
+    Entry &entry = entries_[pc % entries_.size()];
+    PbfsResult res;
+    if (!entry.valid) {
+        entry.filter.install(value);
+        entry.valid = true;
+        return res;
+    }
+
+    res.mismatchMask = entry.filter.mismatchMask(value);
+    res.trigger = res.mismatchMask != 0;
+    entry.filter.observe(value);
+    return res;
+}
+
+} // namespace fh::filters

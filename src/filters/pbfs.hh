@@ -1,0 +1,76 @@
+/**
+ * @file
+ * PBFS baseline (Racunas et al., HPCA 2007) as described in Section
+ * 2.1: a PC-indexed table of bit-mask filters with one-bit sticky
+ * counters and a periodic flash clear. The PBFS-biased variant swaps
+ * the sticky counters for the biased two-bit machines (Section 3).
+ */
+
+#ifndef FH_FILTERS_PBFS_HH
+#define FH_FILTERS_PBFS_HH
+
+#include <vector>
+
+#include "filters/bit_filter.hh"
+#include "sim/types.hh"
+
+namespace fh::filters
+{
+
+struct PbfsParams
+{
+    unsigned entries = 2048; ///< direct-mapped, PC-indexed
+    /** Flash-clear every this many table accesses (sticky only). */
+    u64 clearInterval = 10000;
+    CounterConfig counters = CounterConfig::sticky();
+
+    bool operator==(const PbfsParams &other) const = default;
+};
+
+/** Result of one PBFS check. */
+struct PbfsResult
+{
+    bool trigger = false;
+    u64 mismatchMask = 0;
+};
+
+/**
+ * One PC-indexed PBFS filter table. The caller keeps one table per
+ * checked stream (load address / store address / store value).
+ */
+class PbfsTable
+{
+  public:
+    explicit PbfsTable(const PbfsParams &params = {});
+
+    /**
+     * Check value for the static instruction at pc and update the
+     * filter as part of the access. The first access to an entry only
+     * installs the value.
+     */
+    PbfsResult check(u64 pc, u64 value);
+
+    u64 accesses() const { return accesses_; }
+    u64 clears() const { return clears_; }
+    const PbfsParams &params() const { return params_; }
+
+    bool operator==(const PbfsTable &other) const = default;
+
+  private:
+    struct Entry
+    {
+        BitFilter filter;
+        bool valid = false;
+
+        bool operator==(const Entry &other) const = default;
+    };
+
+    PbfsParams params_;
+    std::vector<Entry> entries_;
+    u64 accesses_ = 0;
+    u64 clears_ = 0;
+};
+
+} // namespace fh::filters
+
+#endif // FH_FILTERS_PBFS_HH

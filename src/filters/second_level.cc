@@ -1,0 +1,28 @@
+#include "filters/second_level.hh"
+
+namespace fh::filters
+{
+
+SecondLevelFilter::SecondLevelFilter(u8 num_states)
+{
+    machines_.fill(BiasedNState(num_states));
+}
+
+bool
+SecondLevelFilter::onTrigger(u64 mismatch_mask)
+{
+    bool allow = false;
+    for (unsigned bit = 0; bit < wordBits; ++bit) {
+        const bool mismatched = (mismatch_mask >> bit) & 1;
+        // record() returns true only for an event in a quiet machine.
+        if (machines_[bit].record(mismatched))
+            allow = true;
+    }
+    if (allow)
+        ++allowed_;
+    else
+        ++suppressed_;
+    return allow;
+}
+
+} // namespace fh::filters

@@ -1,0 +1,128 @@
+#include "filters/tcam.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::filters
+{
+
+CountingTcam::CountingTcam(const TcamParams &params) : params_(params)
+{
+    fh_assert(params_.entries > 0, "TCAM needs at least one entry");
+    entries_.resize(params_.entries, Entry{BitFilter(params_.counters),
+                                           false, 0});
+}
+
+bool
+CountingTcam::closest(u64 value, unsigned &index, unsigned &count,
+                      u64 &mask) const
+{
+    bool found = false;
+    for (unsigned i = 0; i < entries_.size(); ++i) {
+        const Entry &entry = entries_[i];
+        if (!entry.valid)
+            continue;
+        unsigned c = entry.filter.mismatchCount(value);
+        if (!found || c < count) {
+            found = true;
+            index = i;
+            count = c;
+            mask = entry.filter.mismatchMask(value);
+            if (c == 0)
+                break; // cannot do better than a full match
+        }
+    }
+    return found;
+}
+
+TcamResult
+CountingTcam::lookup(u64 value)
+{
+    ++accesses_;
+    ++useClock_;
+    TcamResult res;
+
+    unsigned index = 0;
+    unsigned count = 0;
+    u64 mask = 0;
+    if (!closest(value, index, count, mask)) {
+        // Cold TCAM: install into entry 0 silently (fills happen only
+        // in the first few accesses of a run).
+        entries_[0].filter.install(value);
+        entries_[0].valid = true;
+        entries_[0].lastUse = useClock_;
+        res.entry = 0;
+        return res;
+    }
+
+    if (count == 0) {
+        // Full match: reinforce the neighborhood.
+        entries_[index].filter.observe(value);
+        entries_[index].lastUse = useClock_;
+        res.entry = index;
+        return res;
+    }
+
+    res.trigger = true;
+    res.mismatchCount = count;
+    res.mismatchMask = mask;
+
+    // Prefer filling an invalid entry before loosening or replacing.
+    for (unsigned i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].valid) {
+            entries_[i].filter.install(value);
+            entries_[i].valid = true;
+            entries_[i].lastUse = useClock_;
+            res.entry = i;
+            res.replaced = true;
+            return res;
+        }
+    }
+
+    if (count <= params_.loosenThreshold) {
+        // Loosen the closest filter to accommodate the value.
+        entries_[index].filter.observe(value);
+        entries_[index].lastUse = useClock_;
+        res.entry = index;
+        return res;
+    }
+
+    // Replace the LRU entry with a fresh filter around the value.
+    unsigned victim = 0;
+    for (unsigned i = 1; i < entries_.size(); ++i)
+        if (entries_[i].lastUse < entries_[victim].lastUse)
+            victim = i;
+    entries_[victim].filter.install(value);
+    entries_[victim].lastUse = useClock_;
+    res.entry = victim;
+    res.replaced = true;
+    return res;
+}
+
+TcamResult
+CountingTcam::probe(u64 value) const
+{
+    TcamResult res;
+    unsigned index = 0;
+    unsigned count = 0;
+    u64 mask = 0;
+    if (!closest(value, index, count, mask))
+        return res;
+    res.entry = index;
+    if (count == 0)
+        return res;
+    res.trigger = true;
+    res.mismatchCount = count;
+    res.mismatchMask = mask;
+    return res;
+}
+
+unsigned
+CountingTcam::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &entry : entries_)
+        n += entry.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace fh::filters

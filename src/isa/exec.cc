@@ -1,0 +1,50 @@
+#include "isa/exec.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::isa
+{
+
+u64
+aluCompute(const Instruction &inst, u64 a, u64 b)
+{
+    const u64 imm = static_cast<u64>(inst.imm);
+    switch (inst.op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::And: return a & b;
+      case Op::Or: return a | b;
+      case Op::Xor: return a ^ b;
+      case Op::Sll: return a << (b & 63);
+      case Op::Srl: return a >> (b & 63);
+      case Op::Sra:
+        return static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+      case Op::Mul: return a * b;
+      case Op::SltU: return a < b ? 1 : 0;
+      case Op::Addi: return a + imm;
+      case Op::Andi: return a & imm;
+      case Op::Ori: return a | imm;
+      case Op::Xori: return a ^ imm;
+      case Op::Slli: return a << (imm & 63);
+      case Op::Srli: return a >> (imm & 63);
+      case Op::Li: return imm;
+      default:
+        fh_panic("aluCompute on non-ALU op %s", nameOf(inst.op).data());
+    }
+}
+
+bool
+branchTaken(Op op, u64 a, u64 b)
+{
+    switch (op) {
+      case Op::Beq: return a == b;
+      case Op::Bne: return a != b;
+      case Op::Blt: return static_cast<i64>(a) < static_cast<i64>(b);
+      case Op::Bge: return static_cast<i64>(a) >= static_cast<i64>(b);
+      case Op::Jmp: return true;
+      default:
+        fh_panic("branchTaken on non-branch op %s", nameOf(op).data());
+    }
+}
+
+} // namespace fh::isa

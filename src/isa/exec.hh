@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared execution semantics for FH-RISC. Both the functional (golden)
+ * model and the timing pipeline evaluate instructions through these
+ * helpers, guaranteeing identical semantics in both models.
+ */
+
+#ifndef FH_ISA_EXEC_HH
+#define FH_ISA_EXEC_HH
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace fh::isa
+{
+
+/** Compute the result of an ALU (register or immediate) instruction. */
+u64 aluCompute(const Instruction &inst, u64 a, u64 b);
+
+/** Direction of a conditional branch given its operand values. */
+bool branchTaken(Op op, u64 a, u64 b);
+
+/** Effective address of a load or store. */
+inline Addr
+effectiveAddr(const Instruction &inst, u64 base)
+{
+    return base + static_cast<u64>(inst.imm);
+}
+
+} // namespace fh::isa
+
+#endif // FH_ISA_EXEC_HH

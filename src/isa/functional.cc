@@ -1,0 +1,126 @@
+#include "isa/functional.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::isa
+{
+
+namespace
+{
+
+Trap
+trapFor(mem::AccessResult res)
+{
+    switch (res) {
+      case mem::AccessResult::Ok:
+        return Trap::None;
+      case mem::AccessResult::Unmapped:
+        return Trap::MemUnmapped;
+      case mem::AccessResult::Misaligned:
+        return Trap::MemMisaligned;
+    }
+    return Trap::None;
+}
+
+} // namespace
+
+ArchState
+initialState(const Program &prog, unsigned tid)
+{
+    ArchState state;
+    state.regs[1] = prog.baseOf(tid);
+    return state;
+}
+
+Trap
+stepArch(const Program &prog, mem::Memory &memory, ArchState &state)
+{
+    if (state.halted)
+        return Trap::None;
+
+    if (state.pc >= prog.text.size()) {
+        state.halted = true;
+        return Trap::BadPc;
+    }
+
+    const Instruction &inst = prog.text[state.pc];
+    const u64 a = state.regs[inst.rs1];
+    const u64 b = state.regs[inst.rs2];
+    u64 next_pc = state.pc + 1;
+
+    switch (classOf(inst.op)) {
+      case OpClass::Nop:
+        break;
+      case OpClass::Halt:
+        state.halted = true;
+        break;
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+        if (inst.rd != 0)
+            state.regs[inst.rd] = aluCompute(inst, a, b);
+        break;
+      case OpClass::Load: {
+        u64 value = 0;
+        Trap t = trapFor(memory.read(effectiveAddr(inst, a), value));
+        if (t != Trap::None) {
+            state.halted = true;
+            return t;
+        }
+        if (inst.rd != 0)
+            state.regs[inst.rd] = value;
+        break;
+      }
+      case OpClass::Store: {
+        Trap t = trapFor(memory.write(effectiveAddr(inst, a), b));
+        if (t != Trap::None) {
+            state.halted = true;
+            return t;
+        }
+        break;
+      }
+      case OpClass::Branch:
+        if (branchTaken(inst.op, a, b))
+            next_pc = inst.target;
+        break;
+    }
+
+    state.regs[0] = 0;
+    if (!state.halted)
+        state.pc = next_pc;
+    return Trap::None;
+}
+
+Functional::Functional(const Program *prog, mem::Memory *memory)
+    : prog_(prog), memory_(memory)
+{
+    fh_assert(prog_ && memory_, "null program/memory");
+    state_ = initialState(*prog_, 0);
+}
+
+Trap
+Functional::step()
+{
+    if (state_.halted)
+        return Trap::None;
+    Trap t = stepArch(*prog_, *memory_, state_);
+    if (t != Trap::None) {
+        trap_ = t;
+        return t;
+    }
+    ++retired_;
+    return Trap::None;
+}
+
+u64
+Functional::run(u64 max_insts)
+{
+    u64 n = 0;
+    while (n < max_insts && !state_.halted) {
+        if (step() != Trap::None)
+            break;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace fh::isa

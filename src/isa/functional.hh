@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Functional (architecture-level) executor. Runs a Program one
+ * instruction at a time against a Memory; the tandem fault framework
+ * uses it as the golden oracle, and the timing pipeline's final
+ * architectural state is property-tested against it.
+ */
+
+#ifndef FH_ISA_FUNCTIONAL_HH
+#define FH_ISA_FUNCTIONAL_HH
+
+#include <array>
+
+#include "isa/exec.hh"
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "sim/types.hh"
+
+namespace fh::isa
+{
+
+/** Architectural trap kinds; any trap is a "noisy" fault symptom. */
+enum class Trap : u8
+{
+    None,
+    MemUnmapped,
+    MemMisaligned,
+    BadPc
+};
+
+/** Architectural register + PC state of one hardware thread. */
+struct ArchState
+{
+    std::array<u64, numArchRegs> regs{};
+    u64 pc = 0;
+    bool halted = false;
+
+    bool operator==(const ArchState &other) const = default;
+};
+
+/** Initial architectural state of thread tid for a program. */
+ArchState initialState(const Program &prog, unsigned tid);
+
+/**
+ * Execute one instruction of prog against state/memory. This is the
+ * single source of truth for FH-RISC semantics: the Functional
+ * executor and the timing core's oracle threads both call it.
+ */
+Trap stepArch(const Program &prog, mem::Memory &memory, ArchState &state);
+
+/**
+ * Single-stepping functional executor. Copyable; holds a pointer to the
+ * program (immutable, shared) and a reference-wrapped memory.
+ */
+class Functional
+{
+  public:
+    Functional(const Program *prog, mem::Memory *memory);
+
+    /** Execute one instruction. Returns the trap raised, if any. */
+    Trap step();
+
+    /** Execute up to maxInsts instructions or until halt/trap. Returns
+     *  the number of instructions retired. */
+    u64 run(u64 max_insts);
+
+    const ArchState &state() const { return state_; }
+    ArchState &state() { return state_; }
+
+    bool halted() const { return state_.halted; }
+    u64 retired() const { return retired_; }
+    Trap lastTrap() const { return trap_; }
+
+    const Program &program() const { return *prog_; }
+    mem::Memory &memory() { return *memory_; }
+
+  private:
+    const Program *prog_;
+    mem::Memory *memory_;
+    ArchState state_;
+    u64 retired_ = 0;
+    Trap trap_ = Trap::None;
+};
+
+} // namespace fh::isa
+
+#endif // FH_ISA_FUNCTIONAL_HH

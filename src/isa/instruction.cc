@@ -1,0 +1,138 @@
+#include "isa/instruction.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::isa
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const char *name = nameOf(inst.op).data();
+    switch (inst.op) {
+      case Op::Nop:
+      case Op::Halt:
+        return name;
+      case Op::Li:
+        return csprintf("%s r%u, %lld", name, inst.rd,
+                        static_cast<long long>(inst.imm));
+      case Op::Addi:
+      case Op::Andi:
+      case Op::Ori:
+      case Op::Xori:
+      case Op::Slli:
+      case Op::Srli:
+        return csprintf("%s r%u, r%u, %lld", name, inst.rd, inst.rs1,
+                        static_cast<long long>(inst.imm));
+      case Op::Ld:
+        return csprintf("%s r%u, [r%u + %lld]", name, inst.rd, inst.rs1,
+                        static_cast<long long>(inst.imm));
+      case Op::St:
+        return csprintf("%s [r%u + %lld], r%u", name, inst.rs1,
+                        static_cast<long long>(inst.imm), inst.rs2);
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+        return csprintf("%s r%u, r%u, @%u", name, inst.rs1, inst.rs2,
+                        inst.target);
+      case Op::Jmp:
+        return csprintf("%s @%u", name, inst.target);
+      default:
+        return csprintf("%s r%u, r%u, r%u", name, inst.rd, inst.rs1,
+                        inst.rs2);
+    }
+}
+
+Instruction
+makeNop()
+{
+    return {};
+}
+
+Instruction
+makeHalt()
+{
+    Instruction inst;
+    inst.op = Op::Halt;
+    return inst;
+}
+
+Instruction
+makeRRR(Op op, u8 rd, u8 rs1, u8 rs2)
+{
+    fh_assert(classOf(op) == OpClass::IntAlu || classOf(op) == OpClass::IntMul,
+              "makeRRR on non-ALU op");
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    return inst;
+}
+
+Instruction
+makeRRI(Op op, u8 rd, u8 rs1, i64 imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+makeLi(u8 rd, i64 imm)
+{
+    Instruction inst;
+    inst.op = Op::Li;
+    inst.rd = rd;
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+makeLd(u8 rd, u8 rs1, i64 imm)
+{
+    Instruction inst;
+    inst.op = Op::Ld;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+makeSt(u8 rs1, u8 rs2, i64 imm)
+{
+    Instruction inst;
+    inst.op = Op::St;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+makeBranch(Op op, u8 rs1, u8 rs2, u32 target)
+{
+    fh_assert(isCondBranch(op), "makeBranch on non-branch op");
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.target = target;
+    return inst;
+}
+
+Instruction
+makeJmp(u32 target)
+{
+    Instruction inst;
+    inst.op = Op::Jmp;
+    inst.target = target;
+    return inst;
+}
+
+} // namespace fh::isa

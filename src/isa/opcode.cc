@@ -1,0 +1,133 @@
+#include "isa/opcode.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::isa
+{
+
+OpClass
+classOf(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+        return OpClass::Nop;
+      case Op::Halt:
+        return OpClass::Halt;
+      case Op::Mul:
+        return OpClass::IntMul;
+      case Op::Ld:
+        return OpClass::Load;
+      case Op::St:
+        return OpClass::Store;
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+      case Op::Jmp:
+        return OpClass::Branch;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+std::string_view
+nameOf(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Halt: return "halt";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Sll: return "sll";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::Mul: return "mul";
+      case Op::SltU: return "sltu";
+      case Op::Addi: return "addi";
+      case Op::Andi: return "andi";
+      case Op::Ori: return "ori";
+      case Op::Xori: return "xori";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Li: return "li";
+      case Op::Ld: return "ld";
+      case Op::St: return "st";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Jmp: return "jmp";
+      default: return "???";
+    }
+}
+
+bool
+writesReg(Op op)
+{
+    switch (classOf(op)) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::Load:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsRs1(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Halt:
+      case Op::Li:
+      case Op::Jmp:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsRs2(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Sll:
+      case Op::Srl:
+      case Op::Sra:
+      case Op::Mul:
+      case Op::SltU:
+      case Op::St:
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Cycle
+execLatency(Op op)
+{
+    switch (classOf(op)) {
+      case OpClass::IntMul:
+        return 3;
+      case OpClass::Load:
+      case OpClass::Store:
+        return 1; // address generation; cache time added separately
+      default:
+        return 1;
+    }
+}
+
+} // namespace fh::isa

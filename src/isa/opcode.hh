@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Opcodes of the FH-RISC target: a minimal 64-bit RISC instruction set
+ * rich enough to express the synthetic workloads (loop nests, pointer
+ * chases, hash kernels) whose load/store value streams exercise
+ * FaultHound's filters.
+ */
+
+#ifndef FH_ISA_OPCODE_HH
+#define FH_ISA_OPCODE_HH
+
+#include <string_view>
+
+#include "sim/types.hh"
+
+namespace fh::isa
+{
+
+enum class Op : u8
+{
+    Nop,
+    Halt,
+    // Register-register ALU
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Mul,
+    SltU, ///< rd = (rs1 < rs2) unsigned
+    // Register-immediate ALU
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Li, ///< rd = imm (full 64-bit immediate)
+    // Memory (64-bit words): address = rs1 + imm
+    Ld,
+    St, ///< mem[rs1 + imm] = rs2
+    // Control: direct targets, compare rs1 vs rs2
+    Beq,
+    Bne,
+    Blt, ///< signed less-than
+    Bge, ///< signed greater-or-equal
+    Jmp,
+
+    NumOps
+};
+
+/** Coarse class used by the pipeline for latency and port selection. */
+enum class OpClass : u8
+{
+    Nop,
+    IntAlu,
+    IntMul,
+    Load,
+    Store,
+    Branch,
+    Halt
+};
+
+OpClass classOf(Op op);
+std::string_view nameOf(Op op);
+
+inline bool isLoad(Op op) { return op == Op::Ld; }
+inline bool isStore(Op op) { return op == Op::St; }
+inline bool isMemory(Op op) { return isLoad(op) || isStore(op); }
+inline bool
+isBranch(Op op)
+{
+    return op == Op::Beq || op == Op::Bne || op == Op::Blt ||
+           op == Op::Bge || op == Op::Jmp;
+}
+
+/** True if the op is a conditional (direction-predicted) branch. */
+inline bool
+isCondBranch(Op op)
+{
+    return isBranch(op) && op != Op::Jmp;
+}
+
+bool writesReg(Op op);
+bool readsRs1(Op op);
+bool readsRs2(Op op);
+
+/** Execution latency in cycles once issued (memory adds cache time). */
+Cycle execLatency(Op op);
+
+} // namespace fh::isa
+
+#endif // FH_ISA_OPCODE_HH

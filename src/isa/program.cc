@@ -1,0 +1,67 @@
+#include "isa/program.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::isa
+{
+
+void
+Program::load(mem::Memory &memory) const
+{
+    for (const auto &seg : segments)
+        memory.addSegment(seg.base, seg.size);
+    for (const auto &[addr, value] : data) {
+        auto res = memory.write(addr, value);
+        fh_assert(res == mem::AccessResult::Ok,
+                  "initial data word outside declared segments");
+    }
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    prog_.name = std::move(name);
+}
+
+u32
+ProgramBuilder::emit(const Instruction &inst)
+{
+    u32 idx = here();
+    prog_.text.push_back(inst);
+    return idx;
+}
+
+void
+ProgramBuilder::patchTargetHere(u32 at)
+{
+    patchTarget(at, here());
+}
+
+void
+ProgramBuilder::patchTarget(u32 at, u32 target)
+{
+    fh_assert(at < prog_.text.size(), "patch index out of range");
+    fh_assert(isBranch(prog_.text[at].op), "patching a non-branch");
+    prog_.text[at].target = target;
+}
+
+void
+ProgramBuilder::addSegment(Addr base, u64 size)
+{
+    prog_.segments.push_back({base, size});
+}
+
+void
+ProgramBuilder::initWord(Addr addr, u64 value)
+{
+    prog_.data.emplace_back(addr, value);
+}
+
+Program
+ProgramBuilder::take()
+{
+    if (prog_.text.empty() || prog_.text.back().op != Op::Halt)
+        prog_.text.push_back(makeHalt());
+    return std::move(prog_);
+}
+
+} // namespace fh::isa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A self-contained FH-RISC program: text, initial data image, and the
+ * valid memory segments. Produced by the workload generators.
+ */
+
+#ifndef FH_ISA_PROGRAM_HH
+#define FH_ISA_PROGRAM_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "mem/memory.hh"
+#include "sim/types.hh"
+
+namespace fh::isa
+{
+
+/** A complete program image. */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> text;
+    /** Valid data segments (registered with the Memory on load). */
+    std::vector<mem::Segment> segments;
+    /** Initial (addr, value) words of the data image. */
+    std::vector<std::pair<Addr, u64>> data;
+    /** Base address of the text for I-cache modeling. */
+    Addr textBase = 0x10000000;
+    /**
+     * Per-thread data base addresses. By convention r1 is initialized
+     * to threadBases[tid] and all data addressing is r1-relative, so
+     * SMT contexts (and SRT trailing copies) run the same text over
+     * disjoint footprints.
+     */
+    std::vector<u64> threadBases;
+
+    /** Fetch address of the instruction at index pc. */
+    Addr fetchAddr(u64 pc) const { return textBase + pc * 8; }
+
+    /** r1 value for the given hardware thread. */
+    u64 baseOf(unsigned tid) const
+    {
+        return threadBases.empty() ? 0
+                                   : threadBases[tid % threadBases.size()];
+    }
+
+    /** Register segments and write the initial image into memory. */
+    void load(mem::Memory &memory) const;
+};
+
+/**
+ * Incremental program builder with forward-branch patching, used by the
+ * workload generators.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Append an instruction; returns its index. */
+    u32 emit(const Instruction &inst);
+
+    /** Index the next emitted instruction will get. */
+    u32 here() const { return static_cast<u32>(prog_.text.size()); }
+
+    /** Point the branch/jump at index at to the next instruction. */
+    void patchTargetHere(u32 at);
+    /** Point the branch/jump at index at to target. */
+    void patchTarget(u32 at, u32 target);
+
+    /** Declare a data segment. */
+    void addSegment(Addr base, u64 size);
+    /** Add an initial data word. */
+    void initWord(Addr addr, u64 value);
+
+    /** Finish: appends a Halt if the program does not end in one. */
+    Program take();
+
+  private:
+    Program prog_;
+};
+
+} // namespace fh::isa
+
+#endif // FH_ISA_PROGRAM_HH

@@ -1,0 +1,109 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace fh::mem
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    fh_assert(params_.lineBytes > 0 && params_.ways > 0, "bad cache params");
+    u64 lines = params_.sizeBytes / params_.lineBytes;
+    fh_assert(lines % params_.ways == 0, "size/ways mismatch");
+    numSets_ = static_cast<unsigned>(lines / params_.ways);
+    fh_assert(std::has_single_bit(static_cast<u64>(numSets_)),
+              "sets must be a power of two");
+    lines_.resize(lines);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / params_.lineBytes) % numSets_);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / params_.lineBytes / numSets_;
+}
+
+bool
+Cache::find(Addr addr, Cycle now, Cycle &ready_at)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
+    ++useClock_;
+
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            ready_at = line.readyAt > now ? line.readyAt : now;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Cache::install(Addr addr, Cycle now, Cycle ready_at)
+{
+    (void)now;
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
+    ++useClock_;
+
+    Line *victim = base;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            victim = &line; // refill of an existing line
+            break;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    victim->readyAt = ready_at;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+double
+Cache::missRate() const
+{
+    u64 total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / total : 0.0;
+}
+
+} // namespace fh::mem

@@ -1,0 +1,112 @@
+#include "mem/memory.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::mem
+{
+
+void
+Memory::addSegment(Addr base, u64 size)
+{
+    fh_assert(size > 0, "empty segment");
+    fh_assert(base % 8 == 0 && size % 8 == 0, "unaligned segment");
+    for (const auto &b : backings_) {
+        bool disjoint = base + size <= b.seg.base ||
+                        b.seg.base + b.seg.size <= base;
+        fh_assert(disjoint, "overlapping segments");
+    }
+    Backing b;
+    b.seg = {base, size};
+    b.words.assign(size / 8, 0);
+    backings_.push_back(std::move(b));
+}
+
+std::vector<Segment>
+Memory::segments() const
+{
+    std::vector<Segment> out;
+    out.reserve(backings_.size());
+    for (const auto &b : backings_)
+        out.push_back(b.seg);
+    return out;
+}
+
+const Memory::Backing *
+Memory::find(Addr a) const
+{
+    for (const auto &b : backings_)
+        if (b.seg.contains(a))
+            return &b;
+    return nullptr;
+}
+
+Memory::Backing *
+Memory::find(Addr a)
+{
+    return const_cast<Backing *>(
+        static_cast<const Memory *>(this)->find(a));
+}
+
+AccessResult
+Memory::check(Addr a) const
+{
+    if (a % 8 != 0)
+        return AccessResult::Misaligned;
+    return find(a) ? AccessResult::Ok : AccessResult::Unmapped;
+}
+
+AccessResult
+Memory::read(Addr a, u64 &value) const
+{
+    if (a % 8 != 0)
+        return AccessResult::Misaligned;
+    const Backing *b = find(a);
+    if (!b)
+        return AccessResult::Unmapped;
+    value = b->words[(a - b->seg.base) / 8];
+    return AccessResult::Ok;
+}
+
+AccessResult
+Memory::write(Addr a, u64 value)
+{
+    if (a % 8 != 0)
+        return AccessResult::Misaligned;
+    Backing *b = find(a);
+    if (!b)
+        return AccessResult::Unmapped;
+    b->words[(a - b->seg.base) / 8] = value;
+    return AccessResult::Ok;
+}
+
+u64
+Memory::peek(Addr a) const
+{
+    const Backing *b = a % 8 == 0 ? find(a) : nullptr;
+    return b ? b->words[(a - b->seg.base) / 8] : 0;
+}
+
+void
+Memory::poke(Addr a, u64 value)
+{
+    Backing *b = a % 8 == 0 ? find(a) : nullptr;
+    if (b)
+        b->words[(a - b->seg.base) / 8] = value;
+}
+
+size_t
+Memory::footprintWords() const
+{
+    size_t n = 0;
+    for (const auto &b : backings_)
+        n += b.words.size();
+    return n;
+}
+
+bool
+Memory::sameContents(const Memory &other) const
+{
+    return backings_ == other.backings_;
+}
+
+} // namespace fh::mem

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulated physical memory with segment-based validity.
+ *
+ * Accesses are 64-bit words. The workload declares valid segments;
+ * accesses outside any segment or misaligned accesses raise an access
+ * fault, which the tandem fault classifier uses to bin "noisy" faults
+ * (fault-induced exceptions) exactly as the paper does.
+ *
+ * Storage is dense per segment (flat vectors) so that copying a whole
+ * machine state for a tandem fault fork is a handful of memcpys rather
+ * than a hash-table rebuild.
+ */
+
+#ifndef FH_MEM_MEMORY_HH
+#define FH_MEM_MEMORY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fh::mem
+{
+
+/** A contiguous valid address range, [base, base + size). */
+struct Segment
+{
+    Addr base = 0;
+    u64 size = 0;
+
+    bool contains(Addr a) const { return a >= base && a < base + size; }
+
+    bool operator==(const Segment &other) const = default;
+};
+
+/** Outcome of a memory access attempt. */
+enum class AccessResult : u8
+{
+    Ok,        ///< access completed
+    Unmapped,  ///< address outside every declared segment
+    Misaligned ///< address not 8-byte aligned
+};
+
+/** Word-granular memory backed by dense per-segment storage. */
+class Memory
+{
+  public:
+    Memory() = default;
+
+    /** Declare a valid segment (zero-filled). May not overlap. */
+    void addSegment(Addr base, u64 size);
+    std::vector<Segment> segments() const;
+
+    /** Check validity without accessing. */
+    AccessResult check(Addr a) const;
+
+    /** Read the 64-bit word at a; result through value. */
+    AccessResult read(Addr a, u64 &value) const;
+
+    /** Write the 64-bit word at a. */
+    AccessResult write(Addr a, u64 value);
+
+    /** Backdoor read; returns 0 outside declared segments. */
+    u64 peek(Addr a) const;
+    /** Backdoor write; ignored outside declared segments. */
+    void poke(Addr a, u64 value);
+
+    /** Total words across all declared segments. */
+    size_t footprintWords() const;
+
+    /** True if all segment contents match the other memory. */
+    bool sameContents(const Memory &other) const;
+
+    bool operator==(const Memory &other) const = default;
+
+  private:
+    struct Backing
+    {
+        Segment seg;
+        std::vector<u64> words;
+
+        bool operator==(const Backing &other) const = default;
+    };
+
+    const Backing *find(Addr a) const;
+    Backing *find(Addr a);
+
+    std::vector<Backing> backings_;
+};
+
+} // namespace fh::mem
+
+#endif // FH_MEM_MEMORY_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Gshare-style direction predictor with 2-bit saturating counters.
+ * Branch targets are static in FH-RISC, so only the direction is
+ * predicted; mispredictions therefore model direction misses only.
+ */
+
+#ifndef FH_PIPELINE_BRANCH_PREDICTOR_HH
+#define FH_PIPELINE_BRANCH_PREDICTOR_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fh::pipeline
+{
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(unsigned entries = 4096);
+
+    /** Predict the direction of the conditional branch at pc. */
+    bool predict(unsigned tid, u64 pc) const;
+
+    /** Train with the resolved direction. */
+    void update(unsigned tid, u64 pc, bool taken);
+
+    u64 lookups() const { return lookups_; }
+    u64 correct() const { return correct_; }
+
+    bool operator==(const BranchPredictor &other) const = default;
+
+  private:
+    unsigned index(unsigned tid, u64 pc) const;
+
+    std::vector<u8> counters_; ///< 2-bit saturating, init weakly taken
+    std::vector<u16> history_; ///< per-thread global history
+    u64 lookups_ = 0;
+    u64 correct_ = 0;
+};
+
+} // namespace fh::pipeline
+
+#endif // FH_PIPELINE_BRANCH_PREDICTOR_HH

@@ -1,0 +1,1131 @@
+#include "pipeline/core.hh"
+
+#include <algorithm>
+
+#include "isa/exec.hh"
+#include "sim/logging.hh"
+
+namespace fh::pipeline
+{
+
+using filters::CommitAction;
+using filters::CompleteAction;
+using filters::StreamKind;
+
+void
+ValueProbe::sample(StreamKind kind, u64 pc, u64 value)
+{
+    const auto stream = static_cast<size_t>(kind);
+    auto [it, fresh] = prev[stream].try_emplace(pc, value);
+    if (!fresh) {
+        const u64 changed = it->second ^ value;
+        for (unsigned bit = 0; bit < wordBits; ++bit)
+            if ((changed >> bit) & 1)
+                ++bitChanges[stream][bit];
+        it->second = value;
+        ++samples[stream];
+    }
+}
+
+Core::Core(const CoreParams &params, const isa::Program *prog)
+    : params_(params),
+      prog_(prog),
+      hier_(params.memory),
+      regfile_(params.physRegs),
+      predictor_(params.predictorEntries),
+      detector_(params.detector)
+{
+    fh_assert(prog_ != nullptr, "core needs a program");
+    fh_assert(params_.threads >= 1 && params_.threads <= 8,
+              "1..8 SMT threads supported");
+    fh_assert(params_.physRegs >
+                  params_.threads * isa::numArchRegs + params_.threads,
+              "not enough physical registers");
+
+    prog_->load(memory_);
+
+    // The ROB is partitioned by the *provisioned* SMT width (2-way,
+    // Table 2), not by how many contexts happen to run: SRT's
+    // overcommitted copies get the same per-thread window as the
+    // baseline threads, so window-depth effects cancel out of the
+    // comparison.
+    robs_.assign(params_.threads,
+                 Rob(std::max(8u, params_.robSize / 2)));
+    renames_.resize(params_.threads);
+    threads_.resize(params_.threads);
+    lsqCounts_.assign(params_.threads, 0);
+
+    for (unsigned tid = 0; tid < params_.threads; ++tid) {
+        std::array<unsigned, isa::numArchRegs> map{};
+        const isa::ArchState init = isa::initialState(*prog_, tid);
+        for (unsigned arch = 0; arch < isa::numArchRegs; ++arch) {
+            unsigned preg = 0;
+            bool ok = regfile_.allocate(preg);
+            fh_assert(ok, "init ran out of physical registers");
+            regfile_.write(preg, init.regs[arch]);
+            map[arch] = preg;
+        }
+        renames_[tid].init(map);
+        threads_[tid].oracle = init;
+    }
+}
+
+bool
+Core::occupiesIq(const RobEntry &entry)
+{
+    // The delay buffer is separate storage (Figure 4 of the paper:
+    // it "conceptually extends the pipeline depth after completion"),
+    // so completed instructions held for replay do not occupy
+    // scheduler slots; replay marking re-acquires one.
+    return entry.valid && entry.state == EntryState::Dispatched;
+}
+
+unsigned
+Core::computeIqOccupancy() const
+{
+    unsigned n = 0;
+    for (const Rob &rob : robs_)
+        for (unsigned i = 0; i < rob.size(); ++i)
+            n += occupiesIq(rob.at(rob.slotAt(i))) ? 1 : 0;
+    return n;
+}
+
+unsigned
+Core::computeLsqOccupancy() const
+{
+    unsigned n = 0;
+    for (const Rob &rob : robs_)
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            const RobEntry &e = rob.at(rob.slotAt(i));
+            n += (e.valid && (e.isLoad || e.isStore)) ? 1 : 0;
+        }
+    return n;
+}
+
+void
+Core::tick()
+{
+    ++cycle_;
+    commitStage();
+    completeStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    ++stats_.cycles;
+}
+
+void
+Core::run(Cycle max_cycles)
+{
+    for (Cycle i = 0; i < max_cycles && !allHalted(); ++i)
+        tick();
+}
+
+bool
+Core::runUntilCommitted(const std::vector<u64> &targets, Cycle max_cycles)
+{
+    auto done = [&] {
+        for (unsigned tid = 0; tid < numThreads(); ++tid) {
+            u64 target = tid < targets.size() ? targets[tid] : 0;
+            if (!threads_[tid].halted && threads_[tid].committed < target)
+                return false;
+        }
+        return true;
+    };
+    for (Cycle i = 0; i < max_cycles; ++i) {
+        if (done())
+            return true;
+        tick();
+    }
+    return done();
+}
+
+Cycle
+Core::runPerThreadBudget(u64 per_thread, Cycle max_cycles)
+{
+    std::vector<u64> targets;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        threads_[tid].opts.stopAfterInsts = per_thread;
+        targets.push_back(per_thread);
+    }
+    const Cycle start = cycle_;
+    runUntilCommitted(targets, max_cycles);
+    return cycle_ - start;
+}
+
+bool
+Core::allHalted() const
+{
+    for (const auto &ts : threads_)
+        if (!ts.halted)
+            return false;
+    return true;
+}
+
+bool
+Core::anyTrap() const
+{
+    for (const auto &ts : threads_)
+        if (ts.trap != isa::Trap::None)
+            return true;
+    return false;
+}
+
+u64
+Core::committedTotal() const
+{
+    u64 n = 0;
+    for (const auto &ts : threads_)
+        n += ts.committed;
+    return n;
+}
+
+isa::ArchState
+Core::archState(unsigned tid) const
+{
+    isa::ArchState state;
+    for (unsigned arch = 0; arch < isa::numArchRegs; ++arch)
+        state.regs[arch] = regfile_.read(renames_[tid].retire(arch));
+    state.regs[0] = regfile_.read(renames_[tid].retire(0));
+    state.pc = threads_[tid].nextCommitPc;
+    state.halted = threads_[tid].halted;
+    return state;
+}
+
+// ---------------------------------------------------------------- commit
+
+bool
+Core::tryCommitHead(unsigned tid)
+{
+    Rob &rob = robs_[tid];
+    ThreadState &ts = threads_[tid];
+    if (ts.halted || rob.empty())
+        return false;
+
+    if (ts.opts.stopAfterInsts != 0 &&
+        ts.committed >= ts.opts.stopAfterInsts) {
+        return false; // frozen at a precise commit boundary
+    }
+
+    const unsigned slot = rob.headSlot();
+    RobEntry &e = rob.at(slot);
+    if (e.state != EntryState::Completed)
+        return false;
+    if (e.commitReadyAt > cycle_)
+        return false;
+
+    // Commit-time LSQ check + singleton re-execute (Section 3.5).
+    if ((e.isLoad || e.isStore) && !e.reexecDone && detectorEnabled_ &&
+        detector_.active()) {
+        CommitAction action = CommitAction::None;
+        if (e.isLoad) {
+            action = detector_.checkCommit(StreamKind::LoadAddr, e.pc,
+                                           e.effAddr);
+        } else {
+            action = detector_.checkCommit(StreamKind::StoreAddr, e.pc,
+                                           e.effAddr);
+            if (action == CommitAction::None) {
+                action = detector_.checkCommit(StreamKind::StoreValue,
+                                               e.pc, e.storeData);
+            }
+        }
+        if (action == CommitAction::Reexec) {
+            // Re-execute the singleton from the register file, whose
+            // values are architectural at this point, and compare with
+            // the LSQ copy; a mismatch means a fault in the register
+            // file or the LSQ and is *detected* (Section 3.5).
+            e.reexecDone = true;
+            ++stats_.reexecs;
+            issueBlockedUntil_ =
+                std::max(issueBlockedUntil_,
+                         cycle_ + params_.reexecPenalty);
+            e.commitReadyAt = cycle_ + params_.reexecPenalty;
+
+            const u64 a = e.src1Preg != invalidPreg
+                              ? regfile_.read(e.src1Preg)
+                              : 0;
+            ++stats_.regReads;
+            const Addr addr_new = isa::effectiveAddr(e.inst, a);
+            bool mismatch = addr_new != e.effAddr;
+            if (e.isStore) {
+                const u64 data_new = e.src2Preg != invalidPreg
+                                         ? regfile_.read(e.src2Preg)
+                                         : 0;
+                ++stats_.regReads;
+                mismatch = mismatch || data_new != e.storeData;
+                if (mismatch) {
+                    e.storeData = data_new;
+                }
+            }
+            detector_.onReexecCompare(mismatch);
+            if (mismatch) {
+                faultDetected_ = true;
+                e.effAddr = addr_new;
+                if (memory_.check(e.effAddr) == mem::AccessResult::Ok)
+                    e.trap = isa::Trap::None;
+            }
+            return false; // stalled at commit until the re-execute
+        }
+        e.reexecDone = true;
+    }
+
+    // Architectural traps are raised at commit.
+    if (e.trap != isa::Trap::None) {
+        ts.trap = e.trap;
+        ts.halted = true;
+        squashAllOf(tid);
+        return false;
+    }
+
+    if (e.isStore) {
+        auto res = memory_.write(e.effAddr, e.storeData);
+        if (res != mem::AccessResult::Ok) {
+            ts.trap = res == mem::AccessResult::Unmapped
+                          ? isa::Trap::MemUnmapped
+                          : isa::Trap::MemMisaligned;
+            ts.halted = true;
+            squashAllOf(tid);
+            return false;
+        }
+    }
+
+    if (e.destPreg != invalidPreg) {
+        renames_[tid].commit(e.inst.rd, e.destPreg);
+        if (e.oldPreg != invalidPreg)
+            regfile_.release(e.oldPreg);
+    }
+
+    if (isa::isBranch(e.inst.op))
+        ts.nextCommitPc = e.usedTaken ? e.inst.target : e.pc + 1;
+    else
+        ts.nextCommitPc = e.pc + 1;
+
+    if (occupiesIq(e))
+        --iqCount_;
+    purgeFromQueues(ts, slot);
+    if (e.isLoad || e.isStore)
+        --lsqCounts_[tid];
+
+    const bool was_halt = e.inst.op == isa::Op::Halt;
+    if (e.isLoad)
+        ++stats_.committedLoads;
+    if (e.isStore)
+        ++stats_.committedStores;
+    if (isa::isBranch(e.inst.op))
+        ++stats_.committedBranches;
+    rob.popHead();
+    ++ts.committed;
+    ++stats_.committed;
+
+    if (was_halt ||
+        (ts.opts.maxInsts != 0 && ts.committed >= ts.opts.maxInsts)) {
+        ts.halted = true;
+        squashAllOf(tid);
+        return true;
+    }
+    return true;
+}
+
+void
+Core::commitStage()
+{
+    unsigned budget = params_.commitWidth;
+    const unsigned n = numThreads();
+    for (unsigned off = 0; off < n && budget > 0; ++off) {
+        unsigned tid = (static_cast<unsigned>(cycle_) + off) % n;
+        while (budget > 0 && tryCommitHead(tid))
+            --budget;
+    }
+}
+
+// -------------------------------------------------------------- complete
+
+void
+Core::completeStage()
+{
+    struct Pending
+    {
+        SeqNum seq;
+        unsigned tid;
+        unsigned slot;
+    };
+    std::vector<Pending> pending;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            unsigned slot = rob.slotAt(i);
+            const RobEntry &e = rob.at(slot);
+            if (e.valid && e.state == EntryState::Issued &&
+                e.finishCycle <= cycle_) {
+                pending.push_back({e.seq, tid, slot});
+            }
+        }
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending &x, const Pending &y) {
+                  return x.seq < y.seq;
+              });
+
+    for (const Pending &p : pending) {
+        RobEntry &e = robs_[p.tid].at(p.slot);
+        // Re-validate: an earlier completion may have squashed us.
+        if (!e.valid || e.seq != p.seq || e.state != EntryState::Issued)
+            continue;
+        if (e.isStore && !e.dataValid) {
+            // Split store-data: capture the data operand when it
+            // becomes ready; completion defers until then.
+            if (e.src2Preg != invalidPreg &&
+                regfile_.ready(e.src2Preg)) {
+                e.storeData = regfile_.read(e.src2Preg);
+                ++stats_.regReads;
+                e.dataValid = true;
+            } else {
+                e.finishCycle = cycle_ + 1;
+                continue;
+            }
+        }
+        completeEntry(p.tid, p.slot);
+    }
+}
+
+void
+Core::completeEntry(unsigned tid, unsigned slot)
+{
+    ThreadState &ts = threads_[tid];
+    RobEntry &e = robs_[tid].at(slot);
+
+    const bool was_replay = e.inReplay;
+    const bool first_completion = !e.completedOnce;
+    e.state = EntryState::Completed;
+    e.completedOnce = true;
+    e.commitReadyAt =
+        std::max(e.commitReadyAt, cycle_ + params_.commitDelay);
+
+    if (e.destPreg != invalidPreg) {
+        regfile_.write(e.destPreg, e.result);
+        ++stats_.regWrites;
+    }
+
+    if (isa::isBranch(e.inst.op))
+        resolveBranch(tid, slot);
+    if (!e.valid) {
+        // resolveBranch cannot squash the branch itself, but guard
+        // against future changes.
+        return;
+    }
+
+    if (was_replay) {
+        e.inReplay = false;
+        ++stats_.replaysExecuted;
+    }
+    if (detector_.scheme() == filters::Scheme::FaultHound &&
+        detector_.params().replayRecovery &&
+        params_.delayBufferSize > 0) {
+        // Hold the completed instruction in the delay buffer for
+        // potential predecessor replay. Replayed instructions
+        // re-enter like any other completion, so a false-positive
+        // replay leaves no vacancy window in which a real fault's
+        // predecessors would be unreachable.
+        e.inDelayBuffer = true;
+        ts.delayBuffer.push_back(slot);
+        if (ts.delayBuffer.size() > params_.delayBufferSize) {
+            unsigned old_slot = ts.delayBuffer.front();
+            ts.delayBuffer.pop_front();
+            RobEntry &old_e = robs_[tid].at(old_slot);
+            if (old_e.valid && old_e.inDelayBuffer)
+                old_e.inDelayBuffer = false;
+        }
+    }
+
+    if (probe_.enabled && first_completion) {
+        if (e.isLoad)
+            probe_.sample(StreamKind::LoadAddr, e.pc, e.effAddr);
+        if (e.isStore) {
+            probe_.sample(StreamKind::StoreAddr, e.pc, e.effAddr);
+            probe_.sample(StreamKind::StoreValue, e.pc, e.storeData);
+        }
+    }
+
+    if (e.isLoad || e.isStore)
+        runCompleteChecks(tid, slot);
+}
+
+void
+Core::resolveBranch(unsigned tid, unsigned slot)
+{
+    ThreadState &ts = threads_[tid];
+    RobEntry &e = robs_[tid].at(slot);
+    const bool taken = e.result != 0;
+
+    if (!e.resolvedOnce) {
+        e.resolvedOnce = true;
+        e.usedTaken = taken;
+        if (isa::isCondBranch(e.inst.op) && !ts.opts.oracleFetch)
+            predictor_.update(tid, e.pc, taken);
+        if (taken != e.predTaken) {
+            ++stats_.mispredicts;
+            squashYounger(tid, e.seq);
+            redirectFetch(tid, taken ? e.inst.target : e.pc + 1);
+        }
+        return;
+    }
+
+    // Replay re-resolution: a corrected direction redirects the front
+    // end just like a mispredict (the first execution was faulty).
+    if (taken != e.usedTaken) {
+        e.usedTaken = taken;
+        ++stats_.mispredicts;
+        squashYounger(tid, e.seq);
+        redirectFetch(tid, taken ? e.inst.target : e.pc + 1);
+    }
+}
+
+void
+Core::runCompleteChecks(unsigned tid, unsigned slot)
+{
+    if (!detectorEnabled_ || !detector_.active())
+        return;
+
+    ThreadState &ts = threads_[tid];
+    RobEntry &e = robs_[tid].at(slot);
+
+    auto exempt = [&]() -> bool {
+        if (e.inReplay)
+            return true;
+        if (ts.exemptChecks > 0) {
+            --ts.exemptChecks;
+            return true;
+        }
+        return false;
+    };
+
+    CompleteAction worst = CompleteAction::None;
+    if (e.isLoad) {
+        worst = detector_.checkComplete(StreamKind::LoadAddr, e.pc,
+                                        e.effAddr, exempt());
+    } else {
+        worst = detector_.checkComplete(StreamKind::StoreAddr, e.pc,
+                                        e.effAddr, exempt());
+        CompleteAction value_action = detector_.checkComplete(
+            StreamKind::StoreValue, e.pc, e.storeData, exempt());
+        worst = std::max(worst, value_action);
+    }
+
+    if (worst == CompleteAction::Replay)
+        triggerReplay(tid);
+    else if (worst == CompleteAction::Rollback)
+        faultRollback(tid);
+}
+
+// ---------------------------------------------------------------- issue
+
+bool
+Core::loadBlocked(unsigned tid, SeqNum seq, Addr addr) const
+{
+    const ThreadState &ts = threads_[tid];
+    for (unsigned slot : ts.storeList) {
+        const RobEntry &s = robs_[tid].at(slot);
+        if (!s.valid || s.seq >= seq)
+            continue;
+        if (!s.addrValid)
+            return true; // no memory-dependence speculation
+        if (s.effAddr == addr && !s.dataValid)
+            return true; // forwarding source not ready yet
+    }
+    return false;
+}
+
+u64
+Core::loadValueFor(const RobEntry &entry, unsigned tid) const
+{
+    const ThreadState &ts = threads_[tid];
+    // Forward from the youngest older store to the same address (its
+    // data is ready: loadBlocked gates issue otherwise).
+    for (auto it = ts.storeList.rbegin(); it != ts.storeList.rend();
+         ++it) {
+        const RobEntry &s = robs_[tid].at(*it);
+        if (s.valid && s.seq < entry.seq && s.addrValid &&
+            s.effAddr == entry.effAddr && s.dataValid) {
+            return s.storeData;
+        }
+    }
+    u64 value = 0;
+    memory_.read(entry.effAddr, value);
+    return value;
+}
+
+void
+Core::executeAtIssue(RobEntry &entry)
+{
+    ThreadState &ts = threads_[entry.tid];
+    const bool is_store = isa::classOf(entry.inst.op) ==
+                          isa::OpClass::Store;
+    u64 a = 0;
+    u64 b = 0;
+    if (entry.src1Preg != invalidPreg) {
+        a = regfile_.read(entry.src1Preg);
+        ++stats_.regReads;
+    }
+    if (entry.src2Preg != invalidPreg && !is_store) {
+        b = regfile_.read(entry.src2Preg);
+        ++stats_.regReads;
+    }
+
+    switch (isa::classOf(entry.inst.op)) {
+      case isa::OpClass::IntAlu:
+      case isa::OpClass::IntMul:
+        entry.result = isa::aluCompute(entry.inst, a, b);
+        entry.finishCycle = cycle_ + isa::execLatency(entry.inst.op);
+        break;
+      case isa::OpClass::Load: {
+        entry.effAddr = isa::effectiveAddr(entry.inst, a);
+        entry.addrValid = true;
+        Cycle latency = hier_.params().l1d.hitLatency;
+        if (!ts.opts.perfectDcache)
+            latency = hier_.data(entry.effAddr, cycle_).latency;
+        if (memory_.check(entry.effAddr) != mem::AccessResult::Ok) {
+            entry.trap =
+                memory_.check(entry.effAddr) == mem::AccessResult::Unmapped
+                    ? isa::Trap::MemUnmapped
+                    : isa::Trap::MemMisaligned;
+            entry.result = 0;
+        } else {
+            entry.result = loadValueFor(entry, entry.tid);
+        }
+        entry.loadValue = entry.result;
+        entry.finishCycle = cycle_ + 1 + latency;
+        break;
+      }
+      case isa::OpClass::Store:
+        // Split store-address / store-data: the address computes now;
+        // the data is captured at completion once its operand is
+        // ready (completeStage defers the store until then).
+        entry.effAddr = isa::effectiveAddr(entry.inst, a);
+        entry.addrValid = true;
+        entry.dataValid = false;
+        if (entry.src2Preg == invalidPreg) {
+            entry.storeData = 0;
+            entry.dataValid = true;
+        } else if (regfile_.ready(entry.src2Preg)) {
+            entry.storeData = regfile_.read(entry.src2Preg);
+            ++stats_.regReads;
+            entry.dataValid = true;
+        }
+        if (!ts.opts.perfectDcache)
+            hier_.data(entry.effAddr, cycle_);
+        entry.finishCycle = cycle_ + 1;
+        break;
+      case isa::OpClass::Branch:
+        entry.result = isa::branchTaken(entry.inst.op, a, b) ? 1 : 0;
+        entry.finishCycle = cycle_ + 1;
+        break;
+      default:
+        fh_panic("executeAtIssue on %s",
+                 isa::nameOf(entry.inst.op).data());
+    }
+}
+
+void
+Core::issueStage()
+{
+    if (cycle_ < issueBlockedUntil_)
+        return; // singleton re-execute owns the issue slots
+
+    struct Candidate
+    {
+        SeqNum seq;
+        unsigned tid;
+        unsigned slot;
+    };
+    std::vector<Candidate> ready;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            unsigned slot = rob.slotAt(i);
+            const RobEntry &e = rob.at(slot);
+            if (!e.valid || e.state != EntryState::Dispatched)
+                continue;
+            if (e.src1Preg != invalidPreg && !regfile_.ready(e.src1Preg))
+                continue;
+            // Stores wait only for the address operand; the data is
+            // captured later (split store-address/store-data).
+            if (!e.isStore && e.src2Preg != invalidPreg &&
+                !regfile_.ready(e.src2Preg)) {
+                continue;
+            }
+            if (e.isLoad) {
+                const u64 base_val = e.src1Preg != invalidPreg
+                                         ? regfile_.read(e.src1Preg)
+                                         : 0;
+                const Addr addr = isa::effectiveAddr(e.inst, base_val);
+                if (loadBlocked(tid, e.seq, addr))
+                    continue;
+            }
+            ready.push_back({e.seq, tid, slot});
+        }
+    }
+    std::sort(ready.begin(), ready.end(),
+              [](const Candidate &x, const Candidate &y) {
+                  return x.seq < y.seq;
+              });
+
+    unsigned total = 0;
+    unsigned alu = 0;
+    unsigned mul = 0;
+    unsigned mem_ops = 0;
+    for (const Candidate &c : ready) {
+        if (total >= params_.issueWidth)
+            break;
+        RobEntry &e = robs_[c.tid].at(c.slot);
+        switch (isa::classOf(e.inst.op)) {
+          case isa::OpClass::IntMul:
+            if (mul >= params_.numMul)
+                continue;
+            ++mul;
+            break;
+          case isa::OpClass::Load:
+          case isa::OpClass::Store:
+            if (mem_ops >= params_.memPorts)
+                continue;
+            ++mem_ops;
+            break;
+          default:
+            if (alu >= params_.numAlu)
+                continue;
+            ++alu;
+            break;
+        }
+        executeAtIssue(e);
+        e.state = EntryState::Issued;
+        --iqCount_; // issued instructions vacate the scheduler
+        ++total;
+        ++stats_.issued;
+    }
+}
+
+// -------------------------------------------------------------- dispatch
+
+void
+Core::dispatchStage()
+{
+    unsigned budget = params_.dispatchWidth;
+    const unsigned n = numThreads();
+    for (unsigned off = 0; off < n && budget > 0; ++off) {
+        unsigned tid = (static_cast<unsigned>(cycle_) + off) % n;
+        ThreadState &ts = threads_[tid];
+        Rob &rob = robs_[tid];
+        while (budget > 0 && !ts.halted && !ts.fetchQ.empty()) {
+            FetchedInst &f = ts.fetchQ.front();
+            if (f.availAt > cycle_)
+                break;
+            if (rob.full())
+                break;
+
+            const isa::OpClass cls = isa::classOf(f.inst.op);
+            const bool needs_iq = cls != isa::OpClass::Nop &&
+                                  cls != isa::OpClass::Halt;
+            const bool is_mem = cls == isa::OpClass::Load ||
+                                cls == isa::OpClass::Store;
+
+            if (needs_iq && iqCount_ >= params_.iqSize)
+                break; // scheduler full
+            // The LSQ is statically partitioned per provisioned SMT
+            // context, like the ROB.
+            if (is_mem && lsqCounts_[tid] >= params_.lsqSize / 2)
+                break;
+
+            unsigned dest = invalidPreg;
+            const bool writes = isa::writesReg(f.inst.op) &&
+                                f.inst.rd != 0;
+            if (writes && !regfile_.allocate(dest))
+                break;
+
+            unsigned slot = rob.allocate();
+            RobEntry &e = rob.at(slot);
+            e.tid = tid;
+            e.seq = nextSeq_++;
+            e.pc = f.pc;
+            e.inst = f.inst;
+            e.predTaken = f.predTaken;
+            e.usedTaken = f.predTaken;
+            e.isLoad = isa::isLoad(f.inst.op);
+            e.isStore = isa::isStore(f.inst.op);
+
+            RenameMap &map = renames_[tid];
+            if (f.inst.readsRs1())
+                e.src1Preg = map.spec(f.inst.rs1);
+            if (f.inst.readsRs2())
+                e.src2Preg = map.spec(f.inst.rs2);
+            if (writes) {
+                e.destPreg = dest;
+                e.oldPreg = map.rename(f.inst.rd, dest);
+            }
+
+            if (needs_iq) {
+                ++iqCount_;
+            } else {
+                e.state = EntryState::Completed;
+                e.completedOnce = true;
+            }
+            if (is_mem) {
+                ++lsqCounts_[tid];
+                if (e.isStore)
+                    ts.storeList.push_back(slot);
+            }
+
+            if (e.isLoad)
+                ++stats_.loads;
+            if (e.isStore)
+                ++stats_.stores;
+            if (isa::isBranch(f.inst.op))
+                ++stats_.branches;
+
+            ts.fetchQ.pop_front();
+            ++stats_.dispatched;
+            --budget;
+        }
+    }
+}
+
+// ----------------------------------------------------------------- fetch
+
+bool
+Core::fetchOne(unsigned tid)
+{
+    ThreadState &ts = threads_[tid];
+    if (ts.fetchPc >= prog_->text.size()) {
+        ts.fetchBlocked = true;
+        return false;
+    }
+
+    const u64 pc = ts.fetchPc;
+    const isa::Instruction &inst = prog_->text[pc];
+    bool taken = false;
+    bool pred = false;
+
+    if (isa::isCondBranch(inst.op)) {
+        if (ts.opts.oracleFetch) {
+            pred = isa::branchTaken(inst.op, ts.oracle.regs[inst.rs1],
+                                    ts.oracle.regs[inst.rs2]);
+        } else {
+            pred = predictor_.predict(tid, pc);
+        }
+        taken = pred;
+    } else if (inst.op == isa::Op::Jmp) {
+        pred = true;
+        taken = true;
+    }
+
+    if (ts.opts.oracleFetch && !ts.oracle.halted)
+        isa::stepArch(*prog_, memory_, ts.oracle);
+
+    ts.fetchQ.push_back(
+        {inst, pc, pred, cycle_ + params_.frontEndDepth});
+    ++stats_.fetched;
+
+    ts.fetchPc = taken ? inst.target : pc + 1;
+    if (inst.op == isa::Op::Halt) {
+        ts.fetchBlocked = true;
+        return false;
+    }
+    return !taken;
+}
+
+void
+Core::fetchStage()
+{
+    const unsigned n = numThreads();
+    // Coarse round-robin: one thread fetches per cycle. A persistent
+    // rotation pointer keeps the split fair when some threads are
+    // stalled or halted.
+    for (unsigned off = 1; off <= n; ++off) {
+        unsigned tid = (fetchRotate_ + off) % n;
+        ThreadState &ts = threads_[tid];
+        if (ts.halted || ts.fetchBlocked || ts.fetchStallUntil > cycle_)
+            continue;
+        if (ts.opts.stopAfterInsts != 0 &&
+            ts.committed >= ts.opts.stopAfterInsts) {
+            continue; // frozen threads stop consuming fetch slots
+        }
+        if (ts.fetchQ.size() >= 4 * params_.fetchWidth)
+            continue;
+        if (ts.fetchPc >= prog_->text.size()) {
+            ts.fetchBlocked = true;
+            continue;
+        }
+
+        fetchRotate_ = tid;
+        auto timing = hier_.fetch(prog_->fetchAddr(ts.fetchPc), cycle_);
+        if (!timing.l1Hit) {
+            ts.fetchStallUntil = cycle_ + timing.latency;
+            return;
+        }
+
+        for (unsigned i = 0; i < params_.fetchWidth; ++i)
+            if (!fetchOne(tid))
+                break;
+        return; // only one thread fetches per cycle
+    }
+}
+
+// ------------------------------------------------- recovery machinery
+
+void
+Core::triggerReplay(unsigned tid)
+{
+    ThreadState &ts = threads_[tid];
+    if (ts.delayBuffer.empty())
+        return;
+    ++stats_.replayTriggers;
+
+    for (unsigned slot : ts.delayBuffer) {
+        RobEntry &e = robs_[tid].at(slot);
+        if (!e.valid || e.state != EntryState::Completed ||
+            !e.inDelayBuffer) {
+            continue;
+        }
+        // Re-acquire a scheduler slot for the re-execution (the
+        // window may transiently exceed iqSize; dispatch stalls until
+        // it drains, which is the replay's back-pressure).
+        e.state = EntryState::Dispatched;
+        ++iqCount_;
+        e.inReplay = true;
+        e.inDelayBuffer = false;
+        if (e.destPreg != invalidPreg)
+            regfile_.markNotReady(e.destPreg);
+        if (e.isLoad || e.isStore) {
+            e.addrValid = false;
+            e.dataValid = false;
+        }
+        ++stats_.replayMarked;
+    }
+    ts.delayBuffer.clear();
+}
+
+void
+Core::undoRenameOf(RobEntry &entry, unsigned tid)
+{
+    if (entry.destPreg != invalidPreg) {
+        renames_[tid].restore(entry.inst.rd, entry.oldPreg);
+        regfile_.release(entry.destPreg);
+    }
+}
+
+void
+Core::purgeFromQueues(ThreadState &ts, unsigned slot)
+{
+    std::erase(ts.delayBuffer, slot);
+    std::erase(ts.storeList, slot);
+}
+
+void
+Core::squashYounger(unsigned tid, SeqNum seq)
+{
+    Rob &rob = robs_[tid];
+    while (!rob.empty()) {
+        unsigned slot = rob.tailSlot();
+        RobEntry &e = rob.at(slot);
+        if (e.seq <= seq)
+            break;
+        undoRenameOf(e, tid);
+        if (occupiesIq(e))
+            --iqCount_;
+        if (e.isLoad || e.isStore)
+            --lsqCounts_[tid];
+        purgeFromQueues(threads_[tid], slot);
+        rob.popTail();
+        ++stats_.mispredictSquashed;
+    }
+}
+
+void
+Core::squashAllOf(unsigned tid)
+{
+    ThreadState &ts = threads_[tid];
+    Rob &rob = robs_[tid];
+    while (!rob.empty()) {
+        unsigned slot = rob.tailSlot();
+        RobEntry &e = rob.at(slot);
+        if (e.destPreg != invalidPreg)
+            regfile_.release(e.destPreg);
+        if (occupiesIq(e))
+            --iqCount_;
+        if (e.isLoad || e.isStore)
+            --lsqCounts_[tid];
+        rob.popTail();
+    }
+    renames_[tid].rollbackToRetire();
+    ts.delayBuffer.clear();
+    ts.storeList.clear();
+    ts.fetchQ.clear();
+}
+
+void
+Core::faultRollback(unsigned tid)
+{
+    ThreadState &ts = threads_[tid];
+    fh_assert(!ts.opts.oracleFetch,
+              "fault rollback on an oracle-fetch thread");
+    ++stats_.faultRollbacks;
+
+    u64 squashed = robs_[tid].size();
+    u64 exempt = 0;
+    Rob &rob = robs_[tid];
+    for (unsigned i = 0; i < rob.size(); ++i) {
+        const RobEntry &e = rob.at(rob.slotAt(i));
+        if (e.isLoad)
+            exempt += 1;
+        else if (e.isStore)
+            exempt += 2;
+    }
+
+    squashAllOf(tid);
+    stats_.rollbackSquashed += squashed;
+
+    // Map-based recovery: rebuild the free list from the surviving
+    // rename state, repairing any free-list damage left by a faulty
+    // rename tag (Section 3.4) if the wrongly-freed register has not
+    // been reallocated yet.
+    std::vector<bool> live(regfile_.size(), false);
+    for (unsigned t = 0; t < numThreads(); ++t) {
+        for (unsigned arch = 0; arch < isa::numArchRegs; ++arch) {
+            live[renames_[t].retire(arch)] = true;
+            live[renames_[t].spec(arch)] = true;
+        }
+        const Rob &other = robs_[t];
+        for (unsigned i = 0; i < other.size(); ++i) {
+            const RobEntry &e = other.at(other.slotAt(i));
+            if (!e.valid)
+                continue;
+            if (e.destPreg != invalidPreg)
+                live[e.destPreg] = true;
+            if (e.oldPreg != invalidPreg)
+                live[e.oldPreg] = true;
+        }
+    }
+    regfile_.resetFreeList(live);
+
+    // Values recomputed by the rollback are deemed final: the next
+    // checks of this thread update the filters without re-triggering.
+    ts.exemptChecks += exempt;
+    redirectFetch(tid, ts.nextCommitPc);
+}
+
+void
+Core::redirectFetch(unsigned tid, u64 pc)
+{
+    ThreadState &ts = threads_[tid];
+    ts.fetchPc = pc;
+    ts.fetchQ.clear();
+    ts.fetchBlocked = false;
+    ts.fetchStallUntil =
+        std::max(ts.fetchStallUntil, cycle_ + params_.redirectPenalty);
+}
+
+// --------------------------------------------------------- fault hooks
+
+void
+Core::injectRegfileBit(unsigned preg, unsigned bit)
+{
+    fh_assert(preg < regfile_.size() && bit < wordBits,
+              "regfile injection out of range");
+    regfile_.flipBit(preg, bit);
+}
+
+std::vector<unsigned>
+Core::inflightDestPregs() const
+{
+    // A datapath/control fault corrupts a value *at production time*
+    // (ALU output, writeback bus, bypass), so candidates are the
+    // destinations of instructions that completed within the last few
+    // cycles. (Not-yet-executed destinations would be overwritten by
+    // their own writeback; long-completed ones model RF cell faults,
+    // which the uniform register-file draw already covers.)
+    constexpr Cycle window = 1;
+    std::vector<unsigned> pregs;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        const Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            const RobEntry &e = rob.at(rob.slotAt(i));
+            if (e.valid && e.destPreg != invalidPreg &&
+                e.state == EntryState::Completed &&
+                e.finishCycle + window >= cycle_) {
+                pregs.push_back(e.destPreg);
+            }
+        }
+    }
+    return pregs;
+}
+
+PregPhase
+Core::pregPhase(unsigned preg) const
+{
+    if (regfile_.isFree(preg))
+        return PregPhase::Free;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        const Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            const RobEntry &e = rob.at(rob.slotAt(i));
+            if (e.valid && e.destPreg == preg) {
+                return e.state == EntryState::Completed
+                           ? PregPhase::Completed
+                           : PregPhase::InFlight;
+            }
+        }
+    }
+    for (unsigned tid = 0; tid < numThreads(); ++tid)
+        for (unsigned arch = 0; arch < isa::numArchRegs; ++arch)
+            if (renames_[tid].retire(arch) == preg)
+                return PregPhase::Architectural;
+    // Owned but unnamed: a previous architectural value still readable
+    // by in-flight consumers.
+    return PregPhase::Completed;
+}
+
+unsigned
+Core::lsqOccupied() const
+{
+    unsigned n = 0;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        const Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            const RobEntry &e = rob.at(rob.slotAt(i));
+            if (e.valid && (e.isLoad || e.isStore) && e.addrValid)
+                ++n;
+        }
+    }
+    return n;
+}
+
+bool
+Core::injectLsqBit(unsigned nth, bool addr_field, unsigned bit)
+{
+    fh_assert(bit < wordBits, "LSQ injection bit out of range");
+    unsigned n = 0;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            RobEntry &e = rob.at(rob.slotAt(i));
+            if (!e.valid || !(e.isLoad || e.isStore) || !e.addrValid)
+                continue;
+            if (n++ == nth) {
+                if (addr_field || e.isLoad)
+                    e.effAddr ^= 1ULL << bit;
+                else
+                    e.storeData ^= 1ULL << bit;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+Core::injectRenameBit(unsigned tid, unsigned arch, unsigned bit)
+{
+    fh_assert(tid < numThreads() && arch < isa::numArchRegs,
+              "rename injection out of range");
+    renames_[tid].flipSpecBit(arch, bit, regfile_.size());
+}
+
+} // namespace fh::pipeline

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Cycle-level out-of-order SMT core with FaultHound's recovery
+ * machinery: delayed issue-queue exit through a delay buffer,
+ * predecessor replay, full-pipeline rollback, and commit-time singleton
+ * re-execution for the LSQ (Sections 3.3-3.5 of the paper).
+ *
+ * The core is a plain copyable value: the tandem fault framework forks
+ * it (together with its memory, caches, filters and RNG-free state) at
+ * an injection point and runs golden and faulty copies side by side.
+ */
+
+#ifndef FH_PIPELINE_CORE_HH
+#define FH_PIPELINE_CORE_HH
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "filters/detector.hh"
+#include "isa/functional.hh"
+#include "isa/program.hh"
+#include "mem/hierarchy.hh"
+#include "mem/memory.hh"
+#include "pipeline/branch_predictor.hh"
+#include "pipeline/params.hh"
+#include "pipeline/regfile.hh"
+#include "pipeline/rename.hh"
+#include "pipeline/rob.hh"
+#include "sim/types.hh"
+
+namespace fh::pipeline
+{
+
+/** Event counters of one core; inputs to the energy model. */
+struct CoreStats
+{
+    u64 cycles = 0;
+    u64 fetched = 0;
+    u64 dispatched = 0;
+    u64 issued = 0;
+    u64 committed = 0;
+    u64 loads = 0;   ///< dispatched (includes wrong path)
+    u64 stores = 0;
+    u64 branches = 0;
+    u64 committedLoads = 0;
+    u64 committedStores = 0;
+    u64 committedBranches = 0;
+    u64 mispredicts = 0;
+    u64 mispredictSquashed = 0;
+
+    u64 replayTriggers = 0;   ///< predecessor replays started
+    u64 replayMarked = 0;     ///< instructions marked for replay
+    u64 replaysExecuted = 0;  ///< replay re-executions completed
+    u64 faultRollbacks = 0;   ///< full rollbacks from fault triggers
+    u64 rollbackSquashed = 0; ///< instructions squashed by those
+    u64 reexecs = 0;          ///< singleton re-executes at commit
+    u64 delayBufferSquashes = 0;
+
+    u64 regReads = 0;
+    u64 regWrites = 0;
+
+    bool operator==(const CoreStats &other) const = default;
+};
+
+/** Per-thread execution options (used by the SRT models). */
+struct ThreadOptions
+{
+    /** Perfect branch direction via a fetch-time functional oracle
+     *  (models SRT's branch outcome queue). Requires detector None. */
+    bool oracleFetch = false;
+    /** Loads always hit in the L1 (models SRT's load value queue). */
+    bool perfectDcache = false;
+    /** Halt after committing this many instructions (0 = unlimited);
+     *  models SRT-iso's partial redundancy. */
+    u64 maxInsts = 0;
+    /**
+     * Freeze the thread at exactly this commit count (0 = never): the
+     * thread stops committing (and fetching) without squashing, so a
+     * tandem fork's architectural state is sampled at a precise
+     * per-thread instruction boundary.
+     */
+    u64 stopAfterInsts = 0;
+
+    bool operator==(const ThreadOptions &other) const = default;
+};
+
+/** Where a fault-injected physical register was in its lifetime. */
+enum class PregPhase : u8
+{
+    Free,
+    InFlight,     ///< destination of an uncompleted instruction
+    Completed,    ///< written, owner not yet committed
+    Architectural ///< named by a retirement map
+};
+
+/** Per-bit value-change probe backing Figure 6. */
+struct ValueProbe
+{
+    bool enabled = false;
+    /** Previous value per static instruction, per stream. */
+    std::array<std::unordered_map<u64, u64>, 3> prev;
+    std::array<std::array<u64, wordBits>, 3> bitChanges{};
+    std::array<u64, 3> samples{};
+
+    void sample(filters::StreamKind kind, u64 pc, u64 value);
+
+    bool operator==(const ValueProbe &other) const = default;
+};
+
+/** The core. See file comment. */
+class Core
+{
+  public:
+    Core(const CoreParams &params, const isa::Program *prog);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run until every thread halted or max_cycles elapse. */
+    void run(Cycle max_cycles);
+
+    /**
+     * Run until every active thread has committed at least the given
+     * per-thread totals (or halted/trapped), bounded by max_cycles.
+     * Returns false on the cycle bound (hung).
+     */
+    bool runUntilCommitted(const std::vector<u64> &targets,
+                           Cycle max_cycles);
+
+    /**
+     * Timing-measurement run: freeze every thread at exactly
+     * per_thread committed instructions (frozen threads stop fetching
+     * and committing) and run until all threads are frozen or halted.
+     * Returns the cycles elapsed, so per-scheme comparisons measure
+     * the same per-thread work.
+     */
+    Cycle runPerThreadBudget(u64 per_thread, Cycle max_cycles);
+
+    bool allHalted() const;
+    bool halted(unsigned tid) const { return threads_[tid].halted; }
+    isa::Trap trapOf(unsigned tid) const { return threads_[tid].trap; }
+    bool anyTrap() const;
+
+    Cycle cycle() const { return cycle_; }
+    u64 committed(unsigned tid) const { return threads_[tid].committed; }
+    u64 committedTotal() const;
+
+    /** Architectural view of one thread (retirement map + next pc). */
+    isa::ArchState archState(unsigned tid) const;
+
+    const CoreParams &params() const { return params_; }
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    mem::Memory &memory() { return memory_; }
+    const mem::Memory &memory() const { return memory_; }
+    mem::Hierarchy &hierarchy() { return hier_; }
+    const mem::Hierarchy &hierarchy() const { return hier_; }
+    filters::Detector &detector() { return detector_; }
+    const filters::Detector &detector() const { return detector_; }
+    const BranchPredictor &predictor() const { return predictor_; }
+    CoreStats &stats() { return stats_; }
+    const CoreStats &stats() const { return stats_; }
+    ValueProbe &probe() { return probe_; }
+
+    ThreadOptions &threadOptions(unsigned tid)
+    {
+        return threads_[tid].opts;
+    }
+
+    /** Enable/disable detector checks at runtime (classification runs
+     *  disable them without changing the trained filter state). */
+    void setDetectorEnabled(bool enabled) { detectorEnabled_ = enabled; }
+    bool detectorEnabled() const { return detectorEnabled_; }
+
+    /** True once a singleton re-execute comparison declared a fault. */
+    bool faultDetected() const { return faultDetected_; }
+
+    // ---- Fault injection hooks (Section 4 methodology) ----
+
+    unsigned numPhysRegs() const { return regfile_.size(); }
+    /** Flip one bit of one physical register. */
+    void injectRegfileBit(unsigned preg, unsigned bit);
+    /**
+     * Destination registers of instructions currently in flight
+     * (dispatched, not yet committed). Faults drawn from these emulate
+     * back-end datapath/control faults, which corrupt values on their
+     * way through the pipeline (Section 4).
+     */
+    std::vector<unsigned> inflightDestPregs() const;
+    /** Lifetime phase of a register, for the Figure 11 bins. */
+    PregPhase pregPhase(unsigned preg) const;
+
+    /** Number of LSQ entries with a captured address. */
+    unsigned lsqOccupied() const;
+    /**
+     * Flip one bit of the nth occupied LSQ entry; addr_field selects
+     * the address (true) or the store-data field (false; stores only —
+     * falls back to the address for loads). Returns false if fewer
+     * than nth+1 entries are occupied.
+     */
+    bool injectLsqBit(unsigned nth, bool addr_field, unsigned bit);
+
+    /** Flip one bit of a speculative rename-map entry. */
+    void injectRenameBit(unsigned tid, unsigned arch, unsigned bit);
+
+    /** Read-only ROB access for tests and debugging probes. */
+    const Rob &rob(unsigned tid) const { return robs_[tid]; }
+
+    /** Recount issue-queue occupancy from scratch (test invariant:
+     *  must always equal the incrementally-tracked count). */
+    unsigned computeIqOccupancy() const;
+    unsigned iqOccupancy() const { return iqCount_; }
+    /** Recount LSQ occupancy from scratch (test invariant). */
+    unsigned computeLsqOccupancy() const;
+    unsigned lsqOccupancy() const
+    {
+        unsigned n = 0;
+        for (unsigned c : lsqCounts_)
+            n += c;
+        return n;
+    }
+
+  private:
+    struct FetchedInst
+    {
+        isa::Instruction inst;
+        u64 pc = 0;
+        bool predTaken = false;
+        Cycle availAt = 0;
+
+        bool operator==(const FetchedInst &other) const = default;
+    };
+
+    struct ThreadState
+    {
+        u64 fetchPc = 0;
+        Cycle fetchStallUntil = 0;
+        bool fetchBlocked = false; ///< fetched Halt or ran off text
+        std::deque<FetchedInst> fetchQ;
+        bool halted = false;
+        isa::Trap trap = isa::Trap::None;
+        u64 nextCommitPc = 0;
+        u64 committed = 0;
+        u64 exemptChecks = 0; ///< post-rollback "deemed final" budget
+        std::deque<unsigned> delayBuffer; ///< rob slots, oldest first
+        std::deque<unsigned> storeList;   ///< in-flight store slots
+        ThreadOptions opts;
+        isa::ArchState oracle; ///< fetch-time oracle (oracleFetch)
+
+        bool operator==(const ThreadState &other) const = default;
+    };
+
+    // Pipeline stages, called newest-to-oldest each tick.
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    /** Try to commit the head of one thread; true if it retired. */
+    bool tryCommitHead(unsigned tid);
+    void executeAtIssue(RobEntry &entry);
+    void completeEntry(unsigned tid, unsigned slot);
+    void resolveBranch(unsigned tid, unsigned slot);
+    void runCompleteChecks(unsigned tid, unsigned slot);
+
+    void triggerReplay(unsigned tid);
+    void faultRollback(unsigned tid);
+    void squashYounger(unsigned tid, SeqNum seq);
+    void squashAllOf(unsigned tid);
+    void undoRenameOf(RobEntry &entry, unsigned tid);
+    void purgeFromQueues(ThreadState &ts, unsigned slot);
+    void redirectFetch(unsigned tid, u64 pc);
+
+    /** True if the entry holds an issue-queue slot. */
+    static bool occupiesIq(const RobEntry &entry);
+
+    /**
+     * Memory-ordering check for a load about to issue at addr: blocked
+     * while any older store's address is unknown, or an older store to
+     * the same address has not yet captured its data.
+     */
+    bool loadBlocked(unsigned tid, SeqNum seq, Addr addr) const;
+    u64 loadValueFor(const RobEntry &entry, unsigned tid) const;
+    void freeIqSlotsOfStaleEntries(unsigned tid);
+    bool fetchOne(unsigned tid);
+
+    CoreParams params_;
+    const isa::Program *prog_;
+
+    Cycle cycle_ = 0;
+    SeqNum nextSeq_ = 1;
+
+    mem::Memory memory_;
+    mem::Hierarchy hier_;
+    PhysRegFile regfile_;
+    BranchPredictor predictor_;
+    filters::Detector detector_;
+    bool detectorEnabled_ = true;
+    bool faultDetected_ = false;
+
+    std::vector<RenameMap> renames_;
+    std::vector<Rob> robs_;
+    std::vector<ThreadState> threads_;
+
+    unsigned iqCount_ = 0;
+    std::vector<unsigned> lsqCounts_; ///< per-context LSQ partitions
+    unsigned fetchRotate_ = 0;
+    Cycle issueBlockedUntil_ = 0;
+
+    CoreStats stats_;
+    ValueProbe probe_;
+};
+
+} // namespace fh::pipeline
+
+#endif // FH_PIPELINE_CORE_HH

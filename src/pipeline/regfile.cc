@@ -1,0 +1,62 @@
+#include "pipeline/regfile.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::pipeline
+{
+
+PhysRegFile::PhysRegFile(unsigned num_regs)
+    : values_(num_regs, 0), ready_(num_regs, 1), free_(num_regs, 1)
+{
+    freeList_.reserve(num_regs);
+    // Pop order is descending index; purely cosmetic.
+    for (unsigned i = 0; i < num_regs; ++i)
+        freeList_.push_back(i);
+}
+
+bool
+PhysRegFile::allocate(unsigned &preg)
+{
+    if (freeList_.empty())
+        return false;
+    preg = freeList_.back();
+    freeList_.pop_back();
+    fh_assert(free_[preg], "allocating a non-free register");
+    free_[preg] = 0;
+    ready_[preg] = 0;
+    return true;
+}
+
+void
+PhysRegFile::resetFreeList(const std::vector<bool> &live)
+{
+    fh_assert(live.size() == values_.size(), "liveness size mismatch");
+    freeList_.clear();
+    for (unsigned preg = 0; preg < values_.size(); ++preg) {
+        free_[preg] = live[preg] ? 0 : 1;
+        if (!live[preg]) {
+            ready_[preg] = 1;
+            freeList_.push_back(preg);
+        }
+    }
+}
+
+void
+PhysRegFile::release(unsigned preg)
+{
+    fh_assert(preg < free_.size(), "release out of range");
+    if (free_[preg]) {
+        // Releasing an already-free register: this only happens when a
+        // corrupted rename tag frees the wrong register (Section 5.5);
+        // hardware would double-insert and corrupt the free list. We
+        // model the benign part (no duplicate entries) — the damage is
+        // done by the *live* register that never gets freed / gets
+        // freed early elsewhere.
+        return;
+    }
+    free_[preg] = 1;
+    ready_[preg] = 1;
+    freeList_.push_back(preg);
+}
+
+} // namespace fh::pipeline

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared physical register file with ready bits and a free list.
+ * The fault framework injects single-bit flips directly into register
+ * values; the paper uses register-file injections to emulate back-end
+ * control and datapath faults generally (Section 4).
+ */
+
+#ifndef FH_PIPELINE_REGFILE_HH
+#define FH_PIPELINE_REGFILE_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fh::pipeline
+{
+
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned num_regs = 288);
+
+    unsigned size() const { return static_cast<unsigned>(values_.size()); }
+
+    u64 read(unsigned preg) const { return values_[preg]; }
+    bool ready(unsigned preg) const { return ready_[preg] != 0; }
+
+    void write(unsigned preg, u64 value)
+    {
+        values_[preg] = value;
+        ready_[preg] = 1;
+    }
+
+    void markNotReady(unsigned preg) { ready_[preg] = 0; }
+    void markReady(unsigned preg) { ready_[preg] = 1; }
+
+    /** Allocate a free register; returns false when none available. */
+    bool allocate(unsigned &preg);
+    /** Return a register to the free list. */
+    void release(unsigned preg);
+    bool isFree(unsigned preg) const { return free_[preg] != 0; }
+    unsigned freeCount() const
+    {
+        return static_cast<unsigned>(freeList_.size());
+    }
+
+    /** Flip one bit of one register (fault injection). */
+    void flipBit(unsigned preg, unsigned bit)
+    {
+        values_[preg] ^= 1ULL << bit;
+    }
+
+    /**
+     * Rebuild the free list from a liveness bitmap (map-based recovery
+     * at a full rollback): every register not marked live becomes
+     * free. Repairs free-list corruption left by faulty rename tags,
+     * as long as the wrongly-freed register was not yet reallocated.
+     */
+    void resetFreeList(const std::vector<bool> &live);
+
+    bool operator==(const PhysRegFile &other) const = default;
+
+  private:
+    std::vector<u64> values_;
+    std::vector<u8> ready_;
+    std::vector<u8> free_;
+    std::vector<unsigned> freeList_;
+};
+
+} // namespace fh::pipeline
+
+#endif // FH_PIPELINE_REGFILE_HH

@@ -1,0 +1,30 @@
+#include "pipeline/rename.hh"
+
+namespace fh::pipeline
+{
+
+void
+RenameMap::init(const std::array<unsigned, isa::numArchRegs> &pregs)
+{
+    spec_ = pregs;
+    retire_ = pregs;
+}
+
+unsigned
+RenameMap::rename(unsigned arch, unsigned preg)
+{
+    unsigned old_preg = spec_[arch];
+    spec_[arch] = preg;
+    return old_preg;
+}
+
+void
+RenameMap::flipSpecBit(unsigned arch, unsigned bit, unsigned num_pregs)
+{
+    // Flip within the tag width; wrap into range like a real tag that
+    // indexes a power-of-two-padded register file.
+    unsigned flipped = spec_[arch] ^ (1u << bit);
+    spec_[arch] = flipped % num_pregs;
+}
+
+} // namespace fh::pipeline

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-thread register rename state: the speculative (front-end) map
+ * and the retirement (architectural) map. A full pipeline rollback
+ * recovers the speculative map from the retirement map, which is what
+ * lets FaultHound's squash recover rename faults (Section 3.4).
+ */
+
+#ifndef FH_PIPELINE_RENAME_HH
+#define FH_PIPELINE_RENAME_HH
+
+#include <array>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace fh::pipeline
+{
+
+/** Rename maps of one SMT context. */
+class RenameMap
+{
+  public:
+    RenameMap() = default;
+
+    /** Initialize both maps to the given identity pregs. */
+    void init(const std::array<unsigned, isa::numArchRegs> &pregs);
+
+    unsigned spec(unsigned arch) const { return spec_[arch]; }
+    unsigned retire(unsigned arch) const { return retire_[arch]; }
+
+    /** Front-end rename: arch now maps to preg; returns the old one. */
+    unsigned rename(unsigned arch, unsigned preg);
+
+    /** Undo one rename during a mispredict walk-back. */
+    void restore(unsigned arch, unsigned old_preg) { spec_[arch] = old_preg; }
+
+    /** Commit: the retirement map advances to preg. */
+    void commit(unsigned arch, unsigned preg) { retire_[arch] = preg; }
+
+    /** Full rollback: speculative map recovered from retirement map. */
+    void rollbackToRetire() { spec_ = retire_; }
+
+    /** Flip one bit of one speculative map entry (rename fault). */
+    void flipSpecBit(unsigned arch, unsigned bit, unsigned num_pregs);
+
+    bool operator==(const RenameMap &other) const = default;
+
+  private:
+    std::array<unsigned, isa::numArchRegs> spec_{};
+    std::array<unsigned, isa::numArchRegs> retire_{};
+};
+
+} // namespace fh::pipeline
+
+#endif // FH_PIPELINE_RENAME_HH

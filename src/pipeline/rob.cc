@@ -1,0 +1,51 @@
+#include "pipeline/rob.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::pipeline
+{
+
+Rob::Rob(unsigned capacity)
+{
+    fh_assert(capacity > 0, "ROB needs capacity");
+    entries_.resize(capacity);
+}
+
+unsigned
+Rob::allocate()
+{
+    fh_assert(!full(), "allocate on full ROB");
+    unsigned slot = slotAt(count_);
+    ++count_;
+    entries_[slot] = RobEntry{};
+    entries_[slot].valid = true;
+    return slot;
+}
+
+void
+Rob::popHead()
+{
+    fh_assert(!empty(), "popHead on empty ROB");
+    entries_[head_].valid = false;
+    head_ = (head_ + 1) % static_cast<unsigned>(entries_.size());
+    --count_;
+}
+
+void
+Rob::popTail()
+{
+    fh_assert(!empty(), "popTail on empty ROB");
+    entries_[tailSlot()].valid = false;
+    --count_;
+}
+
+void
+Rob::clear()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+    head_ = 0;
+    count_ = 0;
+}
+
+} // namespace fh::pipeline

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Re-order buffer. One Rob instance per SMT context (the shared ROB of
+ * Table 2 is partitioned evenly). Entries carry everything the stages
+ * need — issue-queue residency, LSQ fields, replay marks — so that the
+ * whole core state remains a plain copyable value for tandem forking.
+ */
+
+#ifndef FH_PIPELINE_ROB_HH
+#define FH_PIPELINE_ROB_HH
+
+#include <vector>
+
+#include "isa/functional.hh"
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace fh::pipeline
+{
+
+/** Lifecycle of one in-flight instruction. */
+enum class EntryState : u8
+{
+    Dispatched, ///< in the issue queue, waiting for operands/ports
+    Issued,     ///< executing; finishes at finishCycle
+    Completed   ///< executed; waiting to commit (may be replay-marked)
+};
+
+constexpr unsigned invalidPreg = ~0u;
+
+/** One in-flight instruction. */
+struct RobEntry
+{
+    bool valid = false;
+    unsigned tid = 0;
+    SeqNum seq = 0;
+    u64 pc = 0;
+    isa::Instruction inst;
+
+    unsigned destPreg = invalidPreg;
+    unsigned oldPreg = invalidPreg;
+    unsigned src1Preg = invalidPreg;
+    unsigned src2Preg = invalidPreg;
+
+    EntryState state = EntryState::Dispatched;
+    Cycle finishCycle = 0;
+    u64 result = 0; ///< ALU result / load value / branch direction
+    /**
+     * Held in the delay buffer for potential predecessor replay. An
+     * issue-queue slot is occupied while Dispatched (conventional) or
+     * while Completed-and-in-delay-buffer (FaultHound's delayed exit,
+     * Section 3.3); issued instructions free their slot as in real
+     * schedulers.
+     */
+    bool inDelayBuffer = false;
+    bool inReplay = false;      ///< re-executing; triggers are ignored
+    bool completedOnce = false; ///< completed at least one execution
+
+    // Memory fields (double as the LSQ entry). Stores issue when the
+    // address operand is ready (split store-address/store-data): the
+    // data is captured at completion, which defers until it is ready.
+    bool isLoad = false;
+    bool isStore = false;
+    bool addrValid = false;
+    bool dataValid = false; ///< store data captured
+    Addr effAddr = 0;
+    u64 storeData = 0; ///< store: data to write
+    u64 loadValue = 0; ///< load: value written back
+    bool reexecDone = false; ///< singleton re-execute already performed
+    Cycle commitReadyAt = 0; ///< commit stall for singleton re-execute
+
+    // Branch fields.
+    bool predTaken = false;
+    bool usedTaken = false; ///< direction younger fetch actually followed
+    bool resolvedOnce = false;
+
+    isa::Trap trap = isa::Trap::None;
+
+    bool operator==(const RobEntry &other) const = default;
+};
+
+/** Circular per-thread ROB partition. */
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity = 125);
+
+    bool full() const { return count_ == entries_.size(); }
+    bool empty() const { return count_ == 0; }
+    unsigned size() const { return count_; }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+    /** Allocate the next entry (must not be full); returns its slot. */
+    unsigned allocate();
+
+    /** Slot index of the i-th oldest valid entry. */
+    unsigned slotAt(unsigned i) const
+    {
+        return (head_ + i) % static_cast<unsigned>(entries_.size());
+    }
+
+    unsigned headSlot() const { return head_; }
+    RobEntry &at(unsigned slot) { return entries_[slot]; }
+    const RobEntry &at(unsigned slot) const { return entries_[slot]; }
+    RobEntry &head() { return entries_[head_]; }
+    const RobEntry &head() const { return entries_[head_]; }
+
+    /** Retire the head entry. */
+    void popHead();
+
+    /** Remove the youngest entry (mispredict walk-back). */
+    void popTail();
+
+    /** The youngest valid entry's slot (rob must be non-empty). */
+    unsigned tailSlot() const
+    {
+        return slotAt(count_ - 1);
+    }
+
+    void clear();
+
+    bool operator==(const Rob &other) const = default;
+
+  private:
+    std::vector<RobEntry> entries_;
+    unsigned head_ = 0;
+    unsigned count_ = 0;
+};
+
+} // namespace fh::pipeline
+
+#endif // FH_PIPELINE_ROB_HH

@@ -1,0 +1,112 @@
+#include "pipeline/stats_dump.hh"
+
+#include <iomanip>
+
+namespace fh::pipeline
+{
+
+namespace
+{
+
+void
+line(std::ostream &os, const char *name, double value,
+     const char *comment)
+{
+    os << std::left << std::setw(34) << name << std::setw(16)
+       << std::setprecision(6) << value << "# " << comment << "\n";
+}
+
+void
+line(std::ostream &os, const char *name, u64 value,
+     const char *comment)
+{
+    os << std::left << std::setw(34) << name << std::setw(16) << value
+       << "# " << comment << "\n";
+}
+
+} // namespace
+
+void
+dumpStats(const Core &core, std::ostream &os)
+{
+    const auto &s = core.stats();
+    const auto &d = core.detector().stats();
+    const double cycles = std::max<double>(1.0, double(s.cycles));
+    const double committed = std::max<double>(1.0, double(s.committed));
+
+    line(os, "sim.cycles", s.cycles, "simulated cycles");
+    line(os, "sim.committed", s.committed, "committed instructions");
+    line(os, "sim.ipc", committed / cycles, "committed IPC (all threads)");
+    for (unsigned t = 0; t < core.numThreads(); ++t) {
+        std::string name = "sim.committed_t" + std::to_string(t);
+        line(os, name.c_str(), core.committed(t),
+             "per-thread committed");
+    }
+
+    line(os, "pipeline.fetched", s.fetched, "instructions fetched");
+    line(os, "pipeline.dispatched", s.dispatched,
+         "instructions dispatched");
+    line(os, "pipeline.issued", s.issued, "instructions issued");
+    line(os, "pipeline.loads", s.loads, "loads dispatched");
+    line(os, "pipeline.stores", s.stores, "stores dispatched");
+    line(os, "pipeline.branches", s.branches, "branches dispatched");
+    line(os, "pipeline.mispredicts", s.mispredicts,
+         "branch direction mispredicts");
+    line(os, "pipeline.mispredict_squashed", s.mispredictSquashed,
+         "instructions squashed by mispredicts");
+    line(os, "pipeline.reg_reads", s.regReads,
+         "physical register reads");
+    line(os, "pipeline.reg_writes", s.regWrites,
+         "physical register writes");
+
+    line(os, "recovery.replay_triggers", s.replayTriggers,
+         "predecessor replays started");
+    line(os, "recovery.replay_marked", s.replayMarked,
+         "instructions marked for replay");
+    line(os, "recovery.replays_executed", s.replaysExecuted,
+         "replay re-executions completed");
+    line(os, "recovery.fault_rollbacks", s.faultRollbacks,
+         "full rollbacks from fault triggers");
+    line(os, "recovery.rollback_squashed", s.rollbackSquashed,
+         "instructions squashed by fault rollbacks");
+    line(os, "recovery.reexecs", s.reexecs,
+         "singleton re-executes at commit");
+
+    const auto &l1i = core.hierarchy().l1i();
+    const auto &l1d = core.hierarchy().l1d();
+    const auto &l2 = core.hierarchy().l2();
+    line(os, "mem.l1i_misses", l1i.misses(), "L1I misses");
+    line(os, "mem.l1d_accesses", l1d.hits() + l1d.misses(),
+         "L1D accesses");
+    line(os, "mem.l1d_misses", l1d.misses(), "L1D misses");
+    line(os, "mem.l1d_miss_rate", l1d.missRate(), "L1D miss rate");
+    line(os, "mem.l2_misses", l2.misses(), "L2 misses");
+    line(os, "mem.dtlb_misses", core.hierarchy().dtlb().misses(),
+         "DTLB misses");
+
+    if (core.detector().active()) {
+        line(os, "detector.checks", d.checks,
+             "completion-time filter checks");
+        line(os, "detector.triggers", d.triggers,
+             "first-level non-matches");
+        line(os, "detector.suppressed", d.suppressed,
+             "suppressed by the second-level filter");
+        line(os, "detector.replays", d.replays,
+             "replay actions requested");
+        line(os, "detector.rollbacks", d.rollbacks,
+             "rollback actions requested");
+        line(os, "detector.squash_alarms", d.squashAlarms,
+             "rename-fault squash alarms");
+        line(os, "detector.commit_checks", d.commitChecks,
+             "commit-time LSQ probes");
+        line(os, "detector.commit_triggers", d.commitTriggers,
+             "singleton re-executes requested");
+        line(os, "detector.reexec_mismatches", d.reexecMismatches,
+             "faults declared by re-execute compare");
+        line(os, "detector.fp_per_kinst",
+             1000.0 * double(d.replays + d.rollbacks) / committed,
+             "false-positive recoveries per 1000 instructions");
+    }
+}
+
+} // namespace fh::pipeline

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * gem5-style flat stats dump for a finished core run: every pipeline,
+ * memory, detector and derived statistic as `name value # comment`
+ * lines. Used by the fhsim CLI driver and handy in tests.
+ */
+
+#ifndef FH_PIPELINE_STATS_DUMP_HH
+#define FH_PIPELINE_STATS_DUMP_HH
+
+#include <ostream>
+
+#include "pipeline/core.hh"
+
+namespace fh::pipeline
+{
+
+/** Write all statistics of core to os, one per line. */
+void dumpStats(const Core &core, std::ostream &os);
+
+} // namespace fh::pipeline
+
+#endif // FH_PIPELINE_STATS_DUMP_HH

@@ -1,0 +1,128 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fh
+{
+
+namespace
+{
+
+std::string
+strip(const std::string &s)
+{
+    size_t a = 0;
+    size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+} // namespace
+
+bool
+Config::parse(const std::string &text, std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        line = strip(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            error = "line " + std::to_string(lineno) +
+                    ": expected key = value";
+            return false;
+        }
+        std::string key = strip(line.substr(0, eq));
+        std::string value = strip(line.substr(eq + 1));
+        if (key.empty()) {
+            error = "line " + std::to_string(lineno) + ": empty key";
+            return false;
+        }
+        values_[key] = value;
+    }
+    return true;
+}
+
+bool
+Config::parseFile(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str(), error);
+}
+
+bool
+Config::set(const std::string &assignment)
+{
+    std::string error;
+    return parse(assignment, error);
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+u64
+Config::getU64(const std::string &key, u64 def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    return def;
+}
+
+} // namespace fh

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tiny key=value configuration parser for the CLI driver: lines of
+ * `section.key = value` with '#' comments, plus typed accessors with
+ * defaults. Intentionally minimal — enough to configure CoreParams and
+ * campaign settings from a file or command-line overrides without
+ * pulling in a dependency.
+ */
+
+#ifndef FH_SIM_CONFIG_HH
+#define FH_SIM_CONFIG_HH
+
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace fh
+{
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse `key = value` lines; later keys override earlier ones.
+     *  Returns false (with an error message) on malformed input. */
+    bool parse(const std::string &text, std::string &error);
+
+    /** Parse a file; missing files are user errors (returns false). */
+    bool parseFile(const std::string &path, std::string &error);
+
+    /** Apply a single `key=value` override (e.g. from argv). */
+    bool set(const std::string &assignment);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    u64 getU64(const std::string &key, u64 def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    const std::map<std::string, std::string> &entries() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace fh
+
+#endif // FH_SIM_CONFIG_HH

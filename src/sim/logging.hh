@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 spirit: panic() for
+ * internal invariant violations, fatal() for user/configuration errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef FH_SIM_LOGGING_HH
+#define FH_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fh
+{
+
+/**
+ * printf-style formatting into a std::string.
+ */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace fh
+
+/** Abort on an internal simulator bug; never a user error. */
+#define fh_panic(...) \
+    ::fh::panicImpl(__FILE__, __LINE__, ::fh::csprintf(__VA_ARGS__))
+
+/** Exit cleanly on a condition that is the user's fault. */
+#define fh_fatal(...) \
+    ::fh::fatalImpl(__FILE__, __LINE__, ::fh::csprintf(__VA_ARGS__))
+
+#define fh_warn(...) ::fh::warnImpl(::fh::csprintf(__VA_ARGS__))
+#define fh_inform(...) ::fh::informImpl(::fh::csprintf(__VA_ARGS__))
+
+/** Assert that is kept in release builds; use for cheap invariants. */
+#define fh_assert(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::fh::panicImpl(__FILE__, __LINE__,                           \
+                            std::string("assertion failed: " #cond " ") + \
+                                ::fh::csprintf(__VA_ARGS__));             \
+        }                                                                 \
+    } while (0)
+
+#endif // FH_SIM_LOGGING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator flows through seeded Rng instances so
+ * that every experiment is reproducible bit-for-bit. The generator is
+ * xoshiro256** seeded via splitmix64, which gives independent streams
+ * from small integer seeds.
+ */
+
+#ifndef FH_SIM_RNG_HH
+#define FH_SIM_RNG_HH
+
+#include <array>
+
+#include "sim/types.hh"
+
+namespace fh
+{
+
+/**
+ * xoshiro256** PRNG with convenience draws. Copyable value type so that
+ * forked simulations (tandem fault runs) replay identically.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the stream from a 64-bit seed. */
+    void reseed(u64 seed);
+
+    /** Next raw 64-bit draw. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    u64 below(u64 bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64 range(u64 lo, u64 hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Geometric-ish draw: number of trials until success at prob p. */
+    u64 geometric(double p);
+
+    /** Derive an independent child stream (seed mixing). */
+    Rng fork();
+
+    bool operator==(const Rng &other) const = default;
+
+  private:
+    std::array<u64, 4> s_;
+};
+
+} // namespace fh
+
+#endif // FH_SIM_RNG_HH

@@ -1,0 +1,104 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace fh::stats
+{
+
+void
+Accumulator::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Accumulator::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi), buckets_(std::max(1u, buckets), 0)
+{
+    fh_assert(hi > lo, "histogram range empty");
+}
+
+void
+Histogram::sample(double v, u64 weight)
+{
+    const double width = (hi_ - lo_) / buckets_.size();
+    double idx = (v - lo_) / width;
+    long i = static_cast<long>(idx);
+    i = std::clamp<long>(i, 0, static_cast<long>(buckets_.size()) - 1);
+    buckets_[static_cast<size_t>(i)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::bucketLo(unsigned i) const
+{
+    const double width = (hi_ - lo_) / buckets_.size();
+    return lo_ + width * i;
+}
+
+double
+Histogram::bucketHi(unsigned i) const
+{
+    return bucketLo(i + 1);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+}
+
+u64
+Group::get(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+Group::merge(const Group &other)
+{
+    for (const auto &[key, ctr] : other.counters_)
+        counters_[key] += ctr.value();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[key, ctr] : counters_) {
+        os << (name_.empty() ? key : name_ + "." + key) << " "
+           << ctr.value() << "\n";
+    }
+    for (const auto &[key, acc] : accs_) {
+        os << (name_.empty() ? key : name_ + "." + key)
+           << ".mean " << acc.mean() << "\n";
+    }
+}
+
+void
+Group::reset()
+{
+    for (auto &[key, ctr] : counters_)
+        ctr.reset();
+    for (auto &[key, acc] : accs_)
+        acc.reset();
+}
+
+} // namespace fh::stats

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters, ratios, and
+ * fixed-bucket histograms, grouped for dumping. Modeled loosely on the
+ * gem5 stats package but value-typed so whole simulator states can be
+ * copied for tandem fault runs.
+ */
+
+#ifndef FH_SIM_STATS_HH
+#define FH_SIM_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fh::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(u64 n) { value_ += n; return *this; }
+
+    u64 value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/** A running mean / min / max accumulator over double samples. */
+class Accumulator
+{
+  public:
+    void sample(double v);
+
+    u64 count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset();
+
+  private:
+    u64 count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A histogram with uniform buckets over [lo, hi); out-of-range samples
+ *  are clamped into the first/last bucket. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 1) {}
+    Histogram(double lo, double hi, unsigned buckets);
+
+    void sample(double v, u64 weight = 1);
+
+    u64 total() const { return total_; }
+    const std::vector<u64> &buckets() const { return buckets_; }
+    double bucketLo(unsigned i) const;
+    double bucketHi(unsigned i) const;
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<u64> buckets_;
+    u64 total_ = 0;
+};
+
+/**
+ * A named collection of counters for one simulated component. Counters
+ * are created on first use; the group can be merged and dumped.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name = "") : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &key) { return counters_[key]; }
+    u64 get(const std::string &key) const;
+
+    Accumulator &accumulator(const std::string &key) { return accs_[key]; }
+
+    /** Add every counter of other into this group. */
+    void merge(const Group &other);
+
+    void dump(std::ostream &os) const;
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Accumulator> accs_;
+};
+
+} // namespace fh::stats
+
+#endif // FH_SIM_STATS_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Aligned text-table printer used by the benchmark harnesses to render
+ * the paper's tables and figure series on the console.
+ */
+
+#ifndef FH_SIM_TEXT_TABLE_HH
+#define FH_SIM_TEXT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fh
+{
+
+/** Builds an aligned table row by row and prints it. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+    /** Format a ratio as a percentage string, e.g. 0.253 -> "25.3%". */
+    static std::string pct(double ratio, int precision = 1);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fh
+
+#endif // FH_SIM_TEXT_TABLE_HH

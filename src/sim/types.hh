@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental fixed-width types and aliases shared by every module.
+ */
+
+#ifndef FH_SIM_TYPES_HH
+#define FH_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace fh
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = u64;
+
+/** A byte address in the simulated physical address space. */
+using Addr = u64;
+
+/** Instruction sequence number, unique per dynamic instruction. */
+using SeqNum = u64;
+
+/** Number of bits in the machine word the filters watch. */
+constexpr unsigned wordBits = 64;
+
+} // namespace fh
+
+#endif // FH_SIM_TYPES_HH

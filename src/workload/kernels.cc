@@ -1,0 +1,454 @@
+#include "workload/kernels.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace fh::workload
+{
+
+using isa::Instruction;
+using isa::makeBranch;
+using isa::makeJmp;
+using isa::makeLd;
+using isa::makeLi;
+using isa::makeRRI;
+using isa::makeRRR;
+using isa::makeSt;
+using isa::Op;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+constexpr Addr dataBase = 0x20000000;
+constexpr u64 guardBytes = 0x10000; ///< unmapped gap between threads
+
+/** FNV-ish mixing for per-benchmark seeds. */
+u64
+mixSeed(u64 seed, const char *name)
+{
+    u64 h = seed ^ 0xcbf29ce484222325ULL;
+    for (const char *c = name; *c; ++c)
+        h = (h ^ static_cast<u64>(*c)) * 0x100000001b3ULL;
+    return h;
+}
+
+u64
+scaled(u64 words, const WorkloadSpec &spec)
+{
+    u64 div = std::max<u64>(1, spec.footprintDivider);
+    u64 w = words / div;
+    return std::max<u64>(w, 64);
+}
+
+/**
+ * Array contents. Real programs keep most value bits stable (Figure 6:
+ * most bit positions change in fewer than 1% of writes), so even the
+ * "random" flavors confine the entropy to the low-order bits.
+ */
+u64
+initValue(ValueKind kind, u64 index, Rng &rng)
+{
+    switch (kind) {
+      case ValueKind::Counter:
+        return 0x1000 + index;
+      case ValueKind::LowNoise:
+        return 0x100000 + (rng.next() & 0xff) * 8;
+      case ValueKind::Random:
+        return rng.next();
+    }
+    return 0;
+}
+
+/**
+ * Declare one segment per thread of total_words words, starting at
+ * dataBase and separated by unmapped guard gaps, and record the
+ * per-thread r1 bases.
+ */
+std::vector<u64>
+layoutThreads(ProgramBuilder &b, const WorkloadSpec &spec,
+              u64 total_words)
+{
+    std::vector<u64> bases;
+    const u64 bytes = total_words * 8;
+    // Stagger the per-thread bases by 46 cache lines (multiple of 128
+    // keeps bit 6 clear for the kernels' offset^64 accesses): SMT
+    // contexts running copies of one program must not march over the
+    // same cache sets in lockstep, which no real co-schedule does.
+    const u64 stagger = 46 * 64;
+    const u64 stride = bytes + guardBytes + stagger;
+    for (unsigned tid = 0; tid < std::max(1u, spec.maxThreads); ++tid) {
+        u64 base = dataBase + tid * stride;
+        b.addSegment(base, bytes);
+        bases.push_back(base);
+    }
+    return bases;
+}
+
+isa::Program
+finish(ProgramBuilder &b, std::vector<u64> bases)
+{
+    isa::Program prog = b.take();
+    prog.threadBases = std::move(bases);
+    return prog;
+}
+
+void
+initArrays(ProgramBuilder &b, const std::vector<u64> &bases, u64 words,
+           ValueKind kind, Rng &rng)
+{
+    for (u64 base : bases) {
+        Rng thread_rng = rng; // identical data per thread
+        for (u64 i = 0; i < words; ++i)
+            b.initWord(base + i * 8, initValue(kind, i, thread_rng));
+    }
+}
+
+} // namespace
+
+isa::Program
+makeStream(const char *name, const WorkloadSpec &spec, StreamParams p)
+{
+    p.words = scaled(p.words, spec);
+    ProgramBuilder b(name);
+    auto bases = layoutThreads(b, spec, 2 * p.words);
+    Rng rng(mixSeed(spec.seed, name));
+    initArrays(b, bases, p.words, p.values, rng);
+
+    const i64 out_off = static_cast<i64>(p.words * 8);
+    b.emit(makeLi(2, 0));                               // i
+    b.emit(makeLi(8, 0));                               // accumulator
+    const u32 loop = b.here();
+    // Constants are rematerialized per iteration (as compilers do),
+    // keeping register lifetimes realistic for fault injection.
+    b.emit(makeLi(3, static_cast<i64>(spec.iterations)));
+    b.emit(makeLi(10, 8191));                           // phase stride
+    // Sweep origin shifts every 2K iterations (grid-sweep phases).
+    b.emit(makeRRI(Op::Srli, 9, 2, 11));
+    b.emit(makeRRR(Op::Mul, 9, 9, 10));
+    b.emit(makeRRR(Op::Add, 4, 2, 9));
+    b.emit(makeRRI(Op::Andi, 4, 4, static_cast<i64>(p.words - 1)));
+    b.emit(makeRRI(Op::Slli, 4, 4, 3));
+    b.emit(makeRRR(Op::Add, 4, 4, 1));                  // &A[i]
+    b.emit(makeLd(5, 4, 0));                            // A[i]
+    b.emit(makeRRR(Op::Add, 8, 8, 5));                  // checksum
+    // Dependent compute chain anchored at A[i]; the stored value keeps
+    // A[i]'s structure so the store-value stream has real locality.
+    u8 acc = 5;
+    for (unsigned k = 0; k < p.computeOps; ++k) {
+        b.emit(makeRRR(Op::Add, 6, acc, 5));
+        acc = 6;
+    }
+    if (p.useMul) {
+        b.emit(makeRRI(Op::Slli, 7, acc, 1));
+        b.emit(makeRRR(Op::Add, 6, acc, 7)); // *3 via shift-add
+        acc = 6;
+    }
+    b.emit(makeSt(4, acc, out_off));                    // B[i] = f(A[i])
+    // Unrolled second element from a distinct static PC, same
+    // neighborhood (offset ^ 64 stays inside A's power-of-two span).
+    b.emit(makeRRI(Op::Xori, 11, 4, 64));
+    b.emit(makeLd(12, 11, 0));
+    b.emit(makeRRR(Op::Add, 12, 12, 5));
+    b.emit(makeSt(11, 12, out_off));
+    b.emit(makeRRI(Op::Addi, 2, 2, 1));
+    b.emit(makeBranch(Op::Blt, 2, 3, loop));
+    return finish(b, std::move(bases));
+}
+
+isa::Program
+makeChase(const char *name, const WorkloadSpec &spec, ChaseParams p)
+{
+    p.nodes = scaled(p.nodes, spec);
+    ProgramBuilder b(name);
+    const u64 total_words = 2 * p.nodes;
+    auto bases = layoutThreads(b, spec, total_words);
+    Rng rng(mixSeed(spec.seed, name));
+
+    // Single-cycle traversal with a large fixed stride: every access
+    // lands on a new cache line (footprints past the L2 therefore
+    // miss) while the address bit-change profile stays counter-like,
+    // as in real list-of-arcs codes.
+    u64 stride = (p.nodes * 3) / 8;
+    stride |= 1; // odd => coprime with the power-of-two node count
+
+    for (u64 base : bases) {
+        for (u64 i = 0; i < p.nodes; ++i) {
+            u64 next = (i + stride) & (p.nodes - 1);
+            b.initWord(base + i * 16, base + next * 16);
+            b.initWord(base + i * 16 + 8, 0x1000 + i); // payload
+        }
+    }
+
+    // Two independent chains (the cycle entered at opposite phases)
+    // plus a strided scan: real arc-traversal codes expose memory-
+    // level parallelism, so the instruction window has value and
+    // squashing it is not free.
+    b.emit(makeLi(2, 0));
+    b.emit(makeRRR(Op::Add, 4, 1, 0)); // p = base
+    b.emit(makeLi(6, static_cast<i64>((p.nodes / 2) * 16)));
+    b.emit(makeRRR(Op::Add, 6, 6, 1)); // q = mid-cycle node
+    b.emit(makeLi(10, 0));             // scan checksum
+    const u32 loop = b.here();
+    b.emit(makeLi(3, static_cast<i64>(spec.iterations)));
+    b.emit(makeLd(5, 4, 8));           // p payload
+    for (unsigned k = 0; k < std::max(1u, p.payloadOps); ++k)
+        b.emit(makeRRI(Op::Addi, 5, 5, 1));
+    // Arc-relaxation style compute between the memory references.
+    b.emit(makeRRI(Op::Slli, 11, 5, 2));
+    b.emit(makeRRR(Op::Add, 11, 11, 5));
+    b.emit(makeRRI(Op::Srli, 12, 11, 3));
+    b.emit(makeRRR(Op::Xor, 12, 12, 11));
+    b.emit(makeRRR(Op::Add, 10, 10, 12));
+    b.emit(makeSt(4, 5, 8));
+    b.emit(makeLd(4, 4, 0));           // p = p->next
+    b.emit(makeLd(7, 6, 8));           // q payload
+    b.emit(makeRRI(Op::Addi, 7, 7, 1));
+    b.emit(makeSt(6, 7, 8));
+    b.emit(makeLd(6, 6, 0));           // q = q->next
+    // Strided scan over the same footprint (window-parallel stream).
+    b.emit(makeRRI(Op::Slli, 8, 2, 4));
+    b.emit(makeRRI(Op::Andi, 8, 8, static_cast<i64>(total_words * 8 - 8)));
+    b.emit(makeRRR(Op::Add, 8, 8, 1));
+    b.emit(makeLd(9, 8, 0));
+    b.emit(makeRRR(Op::Add, 10, 10, 9));
+    b.emit(makeRRI(Op::Addi, 2, 2, 1));
+    b.emit(makeBranch(Op::Blt, 2, 3, loop));
+    return finish(b, std::move(bases));
+}
+
+isa::Program
+makeHash(const char *name, const WorkloadSpec &spec, HashParams p)
+{
+    p.tableWords = scaled(p.tableWords, spec);
+    // Beyond the bucket table, request-processing code keeps many
+    // static accesses to the current *frame* (locals, request state):
+    // one shared base register that drifts to a new frame every few
+    // requests, touched from many static PCs. A PC-indexed filter
+    // re-learns the drift at every PC individually; the value-indexed
+    // TCAM reinforces one shared neighborhood (Section 3.1).
+    const u64 frame_words = 32;  // 256 bytes per frame
+    const u64 num_frames = 32;
+    const u64 frames_words = num_frames * frame_words;
+
+    ProgramBuilder b(name);
+    auto bases = layoutThreads(b, spec, p.tableWords + frames_words);
+    Rng rng(mixSeed(spec.seed, name));
+    initArrays(b, bases, p.tableWords, p.values, rng);
+
+    const i64 frames_off = static_cast<i64>(p.tableWords * 8);
+    for (u64 base : bases)
+        for (u64 i = 0; i < frames_words; ++i)
+            b.initWord(base + p.tableWords * 8 + i * 8, 0x2000 + i);
+
+    // Temporal locality: most probes hit a hot subset of the table
+    // (server working sets are Zipf-like); every 8th probe goes cold.
+    // The hot region *wanders* every 2K iterations — working-set phase
+    // changes are what separate the clustered TCAM (which re-learns a
+    // shifted neighborhood once) from PC-indexed tables (every static
+    // instruction re-learns individually).
+    const u64 hot_mask = std::min<u64>(p.tableWords - 1, 255);
+    const u64 full_mask = p.tableWords - 1;
+
+    b.emit(makeLi(2, 0));
+    b.emit(makeLi(9, 0)); // branch-taken tally
+    const u32 loop = b.here();
+    b.emit(makeLi(3, static_cast<i64>(spec.iterations)));
+    b.emit(makeLi(8, static_cast<i64>(0x9e3779b97f4a7c15ULL)));
+    // phase = ((i >> 11) * 977) & full_mask (page-aligned region)
+    b.emit(makeRRI(Op::Srli, 14, 2, 11));
+    b.emit(makeLi(15, 977));
+    b.emit(makeRRR(Op::Mul, 14, 14, 15));
+    b.emit(makeRRI(Op::Andi, 14, 14,
+                   static_cast<i64>(full_mask & ~hot_mask)));
+    b.emit(makeRRR(Op::Mul, 4, 2, 8)); // h = i * golden
+    for (unsigned k = 0; k < p.mixOps; ++k) {
+        b.emit(makeRRI(Op::Srli, 5, 4, 17));
+        b.emit(makeRRR(Op::Xor, 4, 4, 5));
+    }
+    b.emit(makeRRI(Op::Andi, 13, 2, 7));
+    u32 cold = b.emit(makeBranch(Op::Beq, 13, 0, 0));
+    b.emit(makeRRI(Op::Andi, 4, 4, static_cast<i64>(hot_mask)));
+    b.emit(makeRRR(Op::Or, 4, 4, 14)); // hot probe inside the phase
+    u32 join = b.emit(makeJmp(0));
+    b.patchTargetHere(cold);
+    b.emit(makeRRI(Op::Andi, 4, 4, static_cast<i64>(full_mask)));
+    b.patchTargetHere(join);
+    b.emit(makeRRI(Op::Slli, 4, 4, 3));
+    b.emit(makeRRR(Op::Add, 4, 4, 1)); // &T[h]
+    b.emit(makeLd(5, 4, 0));
+    b.emit(makeRRI(Op::Addi, 5, 5, 1)); // bump the bucket
+    b.emit(makeSt(4, 5, 0));
+    b.emit(makeRRI(Op::Andi, 6, 5, static_cast<i64>(p.branchMask)));
+    u32 br = b.emit(makeBranch(Op::Bne, 6, 0, 0)); // data-dependent
+    b.emit(makeRRI(Op::Addi, 9, 9, 1));
+    b.patchTargetHere(br);
+    // A second, unrolled probe touching the same neighborhood from a
+    // different static PC (clusters in the TCAM; trains separately in
+    // a PC-indexed table).
+    b.emit(makeRRR(Op::Xor, 10, 4, 0));
+    b.emit(makeRRI(Op::Xori, 10, 10, 64));
+    b.emit(makeLd(11, 10, 0));
+    b.emit(makeRRR(Op::Add, 11, 11, 5));
+    b.emit(makeSt(10, 11, 0));
+    // Frame traffic: r19 points at the current frame, drifting to the
+    // next frame every 8 requests; several static PCs load/store
+    // frame slots. Every drift makes each of these PCs re-learn the
+    // frame bits in a PC-indexed table, while the TCAM's one frame
+    // filter absorbs the drift once (and the second-level filter
+    // silences the repeat alarms in the frame-index bit positions).
+    b.emit(makeRRI(Op::Srli, 19, 2, 3));
+    b.emit(makeRRI(Op::Andi, 19, 19, static_cast<i64>(num_frames - 1)));
+    b.emit(makeRRI(Op::Slli, 19, 19, 8)); // * 256-byte frames
+    b.emit(makeRRR(Op::Add, 19, 19, 1));
+    for (unsigned slot = 0; slot < 4; ++slot) {
+        const i64 off = frames_off + static_cast<i64>(slot * 16);
+        b.emit(makeLd(20, 19, off));
+        b.emit(makeRRI(Op::Addi, 20, 20, 1));
+        b.emit(makeSt(19, 20, off));
+    }
+    b.emit(makeRRI(Op::Addi, 2, 2, 1));
+    b.emit(makeBranch(Op::Blt, 2, 3, loop));
+    return finish(b, std::move(bases));
+}
+
+isa::Program
+makeCompress(const char *name, const WorkloadSpec &spec, CompressParams p)
+{
+    p.words = scaled(p.words, spec);
+    ProgramBuilder b(name);
+    auto bases = layoutThreads(b, spec, 2 * p.words);
+    Rng rng(mixSeed(spec.seed, name));
+    initArrays(b, bases, p.words, p.values, rng);
+
+    const i64 out_off = static_cast<i64>(p.words * 8);
+    b.emit(makeLi(2, 0));
+    const u32 loop = b.here();
+    b.emit(makeLi(3, static_cast<i64>(spec.iterations)));
+    b.emit(makeLi(10, static_cast<i64>(p.threshold)));
+    b.emit(makeRRI(Op::Andi, 4, 2, static_cast<i64>(p.words - 1)));
+    b.emit(makeRRI(Op::Slli, 4, 4, 3));
+    b.emit(makeRRR(Op::Add, 4, 4, 1));
+    b.emit(makeLd(5, 4, 0));
+    b.emit(makeRRI(Op::Srli, 6, 5, 7));
+    b.emit(makeRRR(Op::Xor, 6, 5, 6));
+    b.emit(makeRRI(Op::Andi, 7, 6, 255)); // symbol byte
+    u32 br = b.emit(makeBranch(Op::Blt, 7, 10, 0)); // skip the store
+    b.emit(makeSt(4, 7, out_off)); // emit the symbol
+    b.patchTargetHere(br);
+    b.emit(makeRRI(Op::Addi, 2, 2, 1));
+    b.emit(makeBranch(Op::Blt, 2, 3, loop));
+    return finish(b, std::move(bases));
+}
+
+isa::Program
+makeSearch(const char *name, const WorkloadSpec &spec, SearchParams p)
+{
+    p.words = scaled(p.words, spec);
+    ProgramBuilder b(name);
+    // A, B and a small result array.
+    const u64 result_words = 64;
+    auto bases = layoutThreads(b, spec, 2 * p.words + result_words);
+    Rng rng(mixSeed(spec.seed, name));
+    initArrays(b, bases, 2 * p.words, p.values, rng);
+
+    // Indirect accesses into B stay within a hot region, like the
+    // node/leaf caches of a tracer or volume renderer.
+    const u64 b_mask = std::min<u64>(p.words - 1, 2047);
+    const i64 b_off = static_cast<i64>(p.words * 8);
+    const i64 r_off = static_cast<i64>(2 * p.words * 8);
+    b.emit(makeLi(2, 0));
+    b.emit(makeLi(4, 0)); // idx
+    b.emit(makeLi(9, 0)); // running result
+    const u32 loop = b.here();
+    b.emit(makeLi(3, static_cast<i64>(spec.iterations)));
+    b.emit(makeRRI(Op::Slli, 5, 4, 3));
+    b.emit(makeRRR(Op::Add, 5, 5, 1));
+    b.emit(makeLd(6, 5, 0));                            // A[idx]
+    b.emit(makeRRI(Op::Andi, 7, 6, static_cast<i64>(b_mask)));
+    b.emit(makeRRI(Op::Slli, 7, 7, 3));
+    b.emit(makeRRR(Op::Add, 7, 7, 1));
+    b.emit(makeLd(8, 7, b_off));                        // B[A[idx]&m]
+    u32 br1 = b.emit(makeBranch(Op::Blt, 6, 8, 0));
+    b.emit(makeRRI(Op::Addi, 9, 9, 2));
+    u32 j1 = b.emit(makeJmp(0));
+    b.patchTargetHere(br1);
+    b.emit(makeRRI(Op::Addi, 9, 9, 1));
+    b.patchTargetHere(j1);
+    // Periodic store of the running result.
+    b.emit(makeRRI(Op::Andi, 10, 2,
+                   static_cast<i64>(p.storeEvery - 1)));
+    u32 br2 = b.emit(makeBranch(Op::Bne, 10, 0, 0));
+    b.emit(makeRRI(Op::Andi, 11, 2, 63));
+    b.emit(makeRRI(Op::Slli, 11, 11, 3));
+    b.emit(makeRRR(Op::Add, 11, 11, 1));
+    b.emit(makeSt(11, 9, r_off));
+    b.patchTargetHere(br2);
+    // idx = ((idx + (B & 15) + 1) ^ phase) & mask, where the phase
+    // hops to a different tree/octree region every 2K iterations.
+    b.emit(makeRRI(Op::Andi, 12, 8, 15));
+    b.emit(makeRRR(Op::Add, 4, 4, 12));
+    b.emit(makeRRI(Op::Addi, 4, 4, 1));
+    b.emit(makeRRI(Op::Srli, 13, 2, 11));
+    b.emit(makeRRI(Op::Andi, 13, 13, 7));
+    b.emit(makeRRI(Op::Slli, 13, 13, 8));
+    b.emit(makeRRR(Op::Xor, 4, 4, 13));
+    b.emit(makeRRI(Op::Andi, 4, 4, static_cast<i64>(p.words - 1)));
+    b.emit(makeRRI(Op::Addi, 2, 2, 1));
+    b.emit(makeBranch(Op::Blt, 2, 3, loop));
+    return finish(b, std::move(bases));
+}
+
+isa::Program
+makeMatrix(const char *name, const WorkloadSpec &spec, MatrixParams p)
+{
+    p.n = scaled(p.n, spec);
+    const u64 n = p.n;
+    unsigned log_n = 0;
+    while ((1ull << log_n) < n)
+        ++log_n;
+    fh_assert((1ull << log_n) == n, "matrix n must be a power of two");
+
+    ProgramBuilder b(name);
+    const u64 total_words = n * n + 2 * n; // A[n*n], b[n], c[n]
+    auto bases = layoutThreads(b, spec, total_words);
+    Rng rng(mixSeed(spec.seed, name));
+    initArrays(b, bases, n * n + n, p.values, rng);
+
+    const i64 b_off = static_cast<i64>(n * n * 8);
+    const i64 c_off = static_cast<i64>((n * n + n) * 8);
+    b.emit(makeLi(2, 0));                               // outer counter
+    const u32 outer = b.here();
+    b.emit(makeLi(3, static_cast<i64>(spec.iterations)));
+    b.emit(makeLi(12, static_cast<i64>(n)));
+    b.emit(makeRRI(Op::Andi, 5, 2, static_cast<i64>(n - 1))); // row
+    b.emit(makeRRI(Op::Slli, 6, 5, static_cast<i64>(log_n)));
+    b.emit(makeLi(4, 0));                               // j
+    b.emit(makeLi(8, 0));                               // acc
+    const u32 inner = b.here();
+    b.emit(makeRRR(Op::Add, 7, 6, 4));                  // row*n + j
+    b.emit(makeRRI(Op::Slli, 7, 7, 3));
+    b.emit(makeRRR(Op::Add, 7, 7, 1));
+    b.emit(makeLd(9, 7, 0));                            // A[row][j]
+    b.emit(makeRRI(Op::Slli, 10, 4, 3));
+    b.emit(makeRRR(Op::Add, 10, 10, 1));
+    b.emit(makeLd(11, 10, b_off));                      // b[j]
+    b.emit(makeRRR(Op::Mul, 9, 9, 11));
+    b.emit(makeRRR(Op::Add, 8, 8, 9));
+    b.emit(makeRRI(Op::Addi, 4, 4, 1));
+    b.emit(makeBranch(Op::Blt, 4, 12, inner));
+    b.emit(makeRRI(Op::Slli, 13, 5, 3));
+    b.emit(makeRRR(Op::Add, 13, 13, 1));
+    b.emit(makeSt(13, 8, c_off));                       // c[row] = acc
+    // b[row] evolves slowly so successive passes are not identical.
+    b.emit(makeLd(14, 13, b_off));
+    b.emit(makeRRI(Op::Addi, 14, 14, 1));
+    b.emit(makeSt(13, 14, b_off));
+    b.emit(makeRRI(Op::Addi, 2, 2, 1));
+    b.emit(makeBranch(Op::Blt, 2, 3, outer));
+    return finish(b, std::move(bases));
+}
+
+} // namespace fh::workload

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Kernel archetypes used to synthesize the Table 1 benchmarks.
+ * Each builder emits a self-contained FH-RISC program whose data is
+ * laid out per hardware thread (r1-relative, disjoint segments).
+ */
+
+#ifndef FH_WORKLOAD_KERNELS_HH
+#define FH_WORKLOAD_KERNELS_HH
+
+#include "isa/program.hh"
+#include "workload/workload.hh"
+
+namespace fh::workload
+{
+
+/** How array contents are initialized (controls value locality). */
+enum class ValueKind : u8
+{
+    Counter,  ///< base + index: very high locality
+    LowNoise, ///< base + 16 random low bits: locality in high bits
+    Random    ///< full 64-bit random: low locality
+};
+
+/** Streaming kernel: load A[i], compute, store B[i] (leslie3d, ocean,
+ *  water-nsquared archetype). */
+struct StreamParams
+{
+    u64 words = 1 << 16; ///< per-array footprint (power of two)
+    unsigned computeOps = 4;
+    bool useMul = false;
+    ValueKind values = ValueKind::Counter;
+};
+isa::Program makeStream(const char *name, const WorkloadSpec &spec,
+                        StreamParams p);
+
+/** Pointer-chase kernel over a random permutation (mcf, OLTP). */
+struct ChaseParams
+{
+    u64 nodes = 1 << 16; ///< 2 words per node (power of two)
+    unsigned payloadOps = 1;
+};
+isa::Program makeChase(const char *name, const WorkloadSpec &spec,
+                       ChaseParams p);
+
+/** Hash-table update kernel with data-dependent branches (perl,
+ *  apache, SPECjbb). */
+struct HashParams
+{
+    u64 tableWords = 1 << 14;
+    unsigned mixOps = 2;
+    unsigned branchMask = 1; ///< value & mask == 0 drives a branch
+    ValueKind values = ValueKind::LowNoise;
+};
+isa::Program makeHash(const char *name, const WorkloadSpec &spec,
+                      HashParams p);
+
+/** Sequential scan with bit twiddling and a threshold branch plus
+ *  conditional stores (bzip2). */
+struct CompressParams
+{
+    u64 words = 1 << 15;
+    unsigned threshold = 96; ///< of 256; store probability
+    ValueKind values = ValueKind::Random;
+};
+isa::Program makeCompress(const char *name, const WorkloadSpec &spec,
+                          CompressParams p);
+
+/** Irregular two-array search with data-dependent control (astar,
+ *  raytrace, volrend). */
+struct SearchParams
+{
+    u64 words = 1 << 14;
+    unsigned storeEvery = 4; ///< power of two
+    ValueKind values = ValueKind::LowNoise;
+};
+isa::Program makeSearch(const char *name, const WorkloadSpec &spec,
+                        SearchParams p);
+
+/** Dense mat-vec style loop nest with multiply-accumulate (dealII,
+ *  gamess, water). */
+struct MatrixParams
+{
+    u64 n = 64; ///< power of two
+    ValueKind values = ValueKind::Counter;
+};
+isa::Program makeMatrix(const char *name, const WorkloadSpec &spec,
+                        MatrixParams p);
+
+} // namespace fh::workload
+
+#endif // FH_WORKLOAD_KERNELS_HH

@@ -1,0 +1,194 @@
+#include "workload/workload.hh"
+
+#include "sim/logging.hh"
+#include "workload/kernels.hh"
+
+namespace fh::workload
+{
+
+std::string
+to_string(Suite suite)
+{
+    switch (suite) {
+      case Suite::SpecInt: return "SPECint";
+      case Suite::SpecFp: return "SPECfp";
+      case Suite::Commercial: return "Commercial";
+      case Suite::Splash: return "SPLASH-2";
+    }
+    return "?";
+}
+
+// Per-benchmark builders. Footprints are chosen relative to the 32 KB
+// L1D / 2 MB L2 of Table 2: "memory-intensive" benchmarks (mcf, the
+// commercial workloads, leslie3d) exceed the L2, compute-intensive
+// ones fit in it.
+namespace
+{
+
+isa::Program
+perl(const WorkloadSpec &s)
+{
+    // Interpreter-style hash-heavy integer code, branchy.
+    return makeHash("400.perl", s,
+                    {.tableWords = 1 << 15,
+                     .mixOps = 2,
+                     .branchMask = 1,
+                     .values = ValueKind::LowNoise});
+}
+
+isa::Program
+bzip2(const WorkloadSpec &s)
+{
+    return makeCompress("401.bzip2", s,
+                        {.words = 1 << 16,
+                         .threshold = 96,
+                         .values = ValueKind::Random});
+}
+
+isa::Program
+mcf(const WorkloadSpec &s)
+{
+    // Pointer-chasing over a footprint well past the 2 MB L2.
+    return makeChase("429.mcf", s, {.nodes = 1 << 18, .payloadOps = 2});
+}
+
+isa::Program
+astar(const WorkloadSpec &s)
+{
+    return makeSearch("473.astar", s,
+                      {.words = 1 << 15,
+                       .storeEvery = 4,
+                       .values = ValueKind::LowNoise});
+}
+
+isa::Program
+dealII(const WorkloadSpec &s)
+{
+    return makeMatrix("447.dealII", s,
+                      {.n = 128, .values = ValueKind::Counter});
+}
+
+isa::Program
+gamess(const WorkloadSpec &s)
+{
+    return makeMatrix("416.gamess", s,
+                      {.n = 64, .values = ValueKind::LowNoise});
+}
+
+isa::Program
+leslie3d(const WorkloadSpec &s)
+{
+    // Streaming FP solver: large footprint, regular strides.
+    return makeStream("437.leslie3d", s,
+                      {.words = 1 << 18,
+                       .computeOps = 6,
+                       .useMul = true,
+                       .values = ValueKind::LowNoise});
+}
+
+isa::Program
+apache(const WorkloadSpec &s)
+{
+    return makeHash("apache", s,
+                    {.tableWords = 1 << 18,
+                     .mixOps = 3,
+                     .branchMask = 3,
+                     .values = ValueKind::LowNoise});
+}
+
+isa::Program
+specjbb(const WorkloadSpec &s)
+{
+    return makeHash("specjbb", s,
+                    {.tableWords = 1 << 17,
+                     .mixOps = 2,
+                     .branchMask = 1,
+                     .values = ValueKind::LowNoise});
+}
+
+isa::Program
+oltp(const WorkloadSpec &s)
+{
+    return makeChase("oltp", s, {.nodes = 1 << 17, .payloadOps = 3});
+}
+
+isa::Program
+ocean(const WorkloadSpec &s)
+{
+    // 64x64 grid relaxation: streaming with small footprint.
+    return makeStream("ocean", s,
+                      {.words = 1 << 13,
+                       .computeOps = 5,
+                       .useMul = false,
+                       .values = ValueKind::Counter});
+}
+
+isa::Program
+raytrace(const WorkloadSpec &s)
+{
+    return makeSearch("raytrace", s,
+                      {.words = 1 << 16,
+                       .storeEvery = 8,
+                       .values = ValueKind::LowNoise});
+}
+
+isa::Program
+volrend(const WorkloadSpec &s)
+{
+    return makeSearch("volrend", s,
+                      {.words = 1 << 14,
+                       .storeEvery = 4,
+                       .values = ValueKind::Counter});
+}
+
+isa::Program
+waterNsq(const WorkloadSpec &s)
+{
+    // 216-molecule pairwise interactions: mul-heavy loop nest.
+    return makeMatrix("water-nsq", s,
+                      {.n = 256, .values = ValueKind::Counter});
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+all()
+{
+    static const std::vector<BenchmarkInfo> table = {
+        {"400.perl", Suite::SpecInt, "hash", perl},
+        {"401.bzip2", Suite::SpecInt, "compress", bzip2},
+        {"429.mcf", Suite::SpecInt, "chase", mcf},
+        {"473.astar", Suite::SpecInt, "search", astar},
+        {"447.dealII", Suite::SpecFp, "matrix", dealII},
+        {"416.gamess", Suite::SpecFp, "matrix", gamess},
+        {"437.leslie3d", Suite::SpecFp, "stream", leslie3d},
+        {"apache", Suite::Commercial, "hash", apache},
+        {"specjbb", Suite::Commercial, "hash", specjbb},
+        {"oltp", Suite::Commercial, "chase", oltp},
+        {"ocean", Suite::Splash, "stream", ocean},
+        {"raytrace", Suite::Splash, "search", raytrace},
+        {"volrend", Suite::Splash, "search", volrend},
+        {"water-nsq", Suite::Splash, "matrix", waterNsq},
+    };
+    return table;
+}
+
+const BenchmarkInfo *
+find(const std::string &name)
+{
+    for (const auto &info : all())
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
+isa::Program
+build(const std::string &name, const WorkloadSpec &spec)
+{
+    const BenchmarkInfo *info = find(name);
+    if (!info)
+        fh_fatal("unknown benchmark '%s'", name.c_str());
+    return info->build(spec);
+}
+
+} // namespace fh::workload

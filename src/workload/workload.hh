@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The benchmark suite of Table 1, rebuilt as synthetic FH-RISC kernels.
+ *
+ * The paper's experiments depend on the workloads only through their
+ * load/store value-locality, cache behaviour, branch behaviour and
+ * instruction mix; each generator here reproduces the archetypal
+ * behaviour of its benchmark (streaming FP solver, pointer-chasing
+ * integer code, hash-table server workloads, ...) with those knobs.
+ * See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef FH_WORKLOAD_WORKLOAD_HH
+#define FH_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace fh::workload
+{
+
+enum class Suite : u8
+{
+    SpecInt,
+    SpecFp,
+    Commercial,
+    Splash
+};
+
+std::string to_string(Suite suite);
+
+/** Build-time knobs shared by every generator. */
+struct WorkloadSpec
+{
+    /** Kernel loop iterations. The default is effectively unbounded —
+     *  harnesses stop at an instruction budget; tests use small values
+     *  so programs halt. */
+    u64 iterations = 1ull << 30;
+    /** Hardware threads the program must support (disjoint data). */
+    unsigned maxThreads = 4;
+    /** Seed for data initialization. */
+    u64 seed = 0x5eedULL;
+    /** Footprint scale divider (tests use >1 for small footprints). */
+    u64 footprintDivider = 1;
+};
+
+struct BenchmarkInfo
+{
+    std::string name;
+    Suite suite;
+    std::string archetype;
+    isa::Program (*build)(const WorkloadSpec &spec);
+};
+
+/** All 14 benchmarks of Table 1, in paper order. */
+const std::vector<BenchmarkInfo> &all();
+
+/** Find by name; nullptr if unknown. */
+const BenchmarkInfo *find(const std::string &name);
+
+/** Build a benchmark by name; fatal on unknown names. */
+isa::Program build(const std::string &name, const WorkloadSpec &spec);
+
+} // namespace fh::workload
+
+#endif // FH_WORKLOAD_WORKLOAD_HH

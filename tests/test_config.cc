@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Config: the key=value parser behind the fhsim CLI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace fh;
+
+TEST(Config, ParsesKeysValuesAndComments)
+{
+    Config cfg;
+    std::string err;
+    ASSERT_TRUE(cfg.parse("a = 1\n"
+                          "# full-line comment\n"
+                          "b.c = hello   # trailing comment\n"
+                          "\n"
+                          "  spaced.key   =   42  \n",
+                          err))
+        << err;
+    EXPECT_EQ(cfg.getU64("a"), 1u);
+    EXPECT_EQ(cfg.getString("b.c"), "hello");
+    EXPECT_EQ(cfg.getU64("spaced.key"), 42u);
+}
+
+TEST(Config, LaterKeysOverride)
+{
+    Config cfg;
+    std::string err;
+    ASSERT_TRUE(cfg.parse("x = 1\nx = 2\n", err));
+    EXPECT_EQ(cfg.getU64("x"), 2u);
+    cfg.set("x=3");
+    EXPECT_EQ(cfg.getU64("x"), 3u);
+}
+
+TEST(Config, MalformedLineFails)
+{
+    Config cfg;
+    std::string err;
+    EXPECT_FALSE(cfg.parse("just-a-token\n", err));
+    EXPECT_NE(err.find("line 1"), std::string::npos);
+    EXPECT_FALSE(cfg.parse("= value\n", err));
+}
+
+TEST(Config, TypedAccessorsAndDefaults)
+{
+    Config cfg;
+    std::string err;
+    ASSERT_TRUE(cfg.parse("n = 0x20\nf = 2.5\n"
+                          "t1 = true\nt2 = on\nt3 = 1\n"
+                          "f1 = false\nf2 = off\n",
+                          err));
+    EXPECT_EQ(cfg.getU64("n"), 0x20u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("f"), 2.5);
+    EXPECT_TRUE(cfg.getBool("t1"));
+    EXPECT_TRUE(cfg.getBool("t2"));
+    EXPECT_TRUE(cfg.getBool("t3"));
+    EXPECT_FALSE(cfg.getBool("f1"));
+    EXPECT_FALSE(cfg.getBool("f2"));
+    // Defaults for missing keys.
+    EXPECT_EQ(cfg.getU64("missing", 7), 7u);
+    EXPECT_EQ(cfg.getString("missing", "d"), "d");
+    EXPECT_TRUE(cfg.getBool("missing", true));
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, MissingFileIsAnError)
+{
+    Config cfg;
+    std::string err;
+    EXPECT_FALSE(cfg.parseFile("/nonexistent/path.conf", err));
+    EXPECT_FALSE(err.empty());
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Energy model: CACTI-lite scaling laws and the event-based core
+ * accounting, including the paper's central cost claim — a 32-entry
+ * TCAM is far cheaper per access than PBFS's 2K-entry tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/cacti_lite.hh"
+#include "energy/energy_model.hh"
+#include "workload/workload.hh"
+
+using namespace fh;
+using namespace fh::energy;
+
+TEST(CactiLite, SramEnergyGrowsWithSize)
+{
+    double small = sramAccessEnergy(64, 128);
+    double big = sramAccessEnergy(2048, 128);
+    EXPECT_GT(big, small);
+    EXPECT_GT(small, 0.0);
+}
+
+TEST(CactiLite, ReferencePointIsL1Like)
+{
+    // 32 KB = 262144 bits should cost about the 0.5-unit reference.
+    EXPECT_NEAR(sramAccessEnergy(2048, 128), 0.5, 0.05);
+}
+
+TEST(CactiLite, SmallTcamIsMuchCheaperThanPbfsTable)
+{
+    // Section 3.1's cost argument: 32-entry TCAMs are negligible next
+    // to 2K-entry PC-indexed tables.
+    double tcam = tcamAccessEnergy(32, 192);
+    double pbfs = sramAccessEnergy(2048, 192);
+    EXPECT_LT(tcam * 5, pbfs);
+}
+
+TEST(CactiLite, TcamCostsMoreThanSramAtEqualSize)
+{
+    EXPECT_GT(tcamAccessEnergy(2048, 192), sramAccessEnergy(2048, 192));
+}
+
+namespace
+{
+
+pipeline::Core
+runOne(const filters::DetectorParams &det, u64 budget = 20000)
+{
+    static workload::WorkloadSpec spec = [] {
+        workload::WorkloadSpec s;
+        s.maxThreads = 2;
+        s.footprintDivider = 64;
+        return s;
+    }();
+    static isa::Program prog = workload::build("400.perl", spec);
+    pipeline::CoreParams p;
+    p.detector = det;
+    pipeline::Core core(p, &prog);
+    core.runPerThreadBudget(budget / 2, 100'000'000);
+    return core;
+}
+
+} // namespace
+
+TEST(EnergyModel, BaselineHasNoDetectorEnergy)
+{
+    auto core = runOne(filters::DetectorParams::none());
+    auto e = computeEnergy(core);
+    EXPECT_EQ(e.detector, 0.0);
+    EXPECT_GT(e.pipeline, 0.0);
+    EXPECT_GT(e.leakage, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.pipeline + e.memory + e.detector + e.leakage, 1e-9);
+}
+
+TEST(EnergyModel, FaultHoundAddsDetectorAndReplayEnergy)
+{
+    auto base = computeEnergy(runOne(filters::DetectorParams::none()));
+    auto fh =
+        computeEnergy(runOne(filters::DetectorParams::faultHound()));
+    EXPECT_GT(fh.detector, 0.0);
+    EXPECT_GT(fh.total(), base.total());
+    // The filter energy must be a small fraction of the total — the
+    // tables are tiny (Section 3.1).
+    EXPECT_LT(fh.detector, 0.05 * fh.total());
+}
+
+TEST(EnergyModel, PbfsTablesCostMorePerAccessThanTcams)
+{
+    auto pb = runOne(filters::DetectorParams::pbfsSticky());
+    auto fh = runOne(filters::DetectorParams::faultHound());
+    double pb_per = computeEnergy(pb).detector /
+                    static_cast<double>(pb.detector().filterAccesses());
+    double fh_per = computeEnergy(fh).detector /
+                    static_cast<double>(fh.detector().filterAccesses());
+    EXPECT_GT(pb_per, fh_per);
+}
+
+TEST(EnergyModel, LeakageScalesWithCycles)
+{
+    auto a = runOne(filters::DetectorParams::none(), 8000);
+    auto b = runOne(filters::DetectorParams::none(), 24000);
+    EXPECT_GT(computeEnergy(b).leakage, computeEnergy(a).leakage);
+}

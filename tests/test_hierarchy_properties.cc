@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Parameterized property sweeps over the cache hierarchy: latency
+ * monotonicity, inclusion-style behavior of repeated accesses, and
+ * footprint-vs-miss-rate trends that the workload calibration relies
+ * on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "sim/rng.hh"
+
+using namespace fh;
+using namespace fh::mem;
+
+namespace
+{
+
+struct SweepCase
+{
+    u64 footprintBytes;
+    unsigned strideBytes;
+};
+
+class HierarchySweep : public testing::TestWithParam<SweepCase>
+{
+};
+
+} // namespace
+
+TEST_P(HierarchySweep, SecondPassIsNeverSlower)
+{
+    const auto &c = GetParam();
+    Hierarchy h;
+    Cycle now = 0;
+    u64 first_total = 0;
+    u64 second_total = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        u64 &total = pass == 0 ? first_total : second_total;
+        for (Addr a = 0; a < c.footprintBytes; a += c.strideBytes) {
+            auto t = h.data(0x20000000 + a, now);
+            total += t.latency;
+            now += t.latency; // serial access stream
+        }
+    }
+    EXPECT_LE(second_total, first_total)
+        << "a warmed hierarchy cannot be slower";
+}
+
+TEST_P(HierarchySweep, LatencyIsBounded)
+{
+    const auto &c = GetParam();
+    HierarchyParams hp;
+    Hierarchy h(hp);
+    const Cycle worst = hp.itlb.walkLatency + hp.l1d.hitLatency +
+                        hp.l2.hitLatency + hp.memoryLatency;
+    Cycle now = 0;
+    for (Addr a = 0; a < c.footprintBytes; a += c.strideBytes) {
+        auto t = h.data(0x20000000 + a, now);
+        EXPECT_GE(t.latency, hp.l1d.hitLatency);
+        EXPECT_LE(t.latency, worst);
+        now += t.latency;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Footprints, HierarchySweep,
+    testing::Values(SweepCase{16 * 1024, 64},    // L1-resident
+                    SweepCase{256 * 1024, 64},   // L2-resident
+                    SweepCase{4 * 1024 * 1024, 64}, // past the L2
+                    SweepCase{256 * 1024, 8},    // sub-line stride
+                    SweepCase{1 * 1024 * 1024, 4096})); // page stride
+
+TEST(HierarchyProperties, MissRateOrdersWithFootprint)
+{
+    // The workload calibration depends on this trend: footprints past
+    // a level miss in it, resident footprints do not.
+    auto missRateFor = [](u64 footprint) {
+        Hierarchy h;
+        Rng rng(3);
+        Cycle now = 0;
+        // Random touches over the footprint, two passes.
+        for (int i = 0; i < 8000; ++i) {
+            Addr a = 0x20000000 + (rng.below(footprint / 8)) * 8;
+            now += h.data(a, now).latency;
+        }
+        return h.l1d().missRate();
+    };
+    double small = missRateFor(16 * 1024);
+    double medium = missRateFor(512 * 1024);
+    double large = missRateFor(8 * 1024 * 1024);
+    EXPECT_LT(small, medium);
+    EXPECT_LE(medium, large + 0.02);
+}
+
+TEST(HierarchyProperties, SequentialStreamMissesOncePerLine)
+{
+    HierarchyParams hp;
+    Hierarchy h(hp);
+    Cycle now = 0;
+    const unsigned words_per_line = hp.l1d.lineBytes / 8;
+    const unsigned lines = 64;
+    for (unsigned w = 0; w < lines * words_per_line; ++w) {
+        now += h.data(0x20000000 + w * 8ull, now).latency;
+    }
+    EXPECT_EQ(h.l1d().misses(), lines);
+    EXPECT_EQ(h.l1d().hits(), lines * (words_per_line - 1));
+}

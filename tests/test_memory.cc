@@ -1,0 +1,95 @@
+/**
+ * @file
+ * mem::Memory: dense segment storage, validity checks, trap plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+using namespace fh;
+using namespace fh::mem;
+
+TEST(Memory, ReadsZeroInitialized)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    u64 v = 0xdead;
+    EXPECT_EQ(m.read(0x1008, v), AccessResult::Ok);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    EXPECT_EQ(m.write(0x1010, 0xfeedULL), AccessResult::Ok);
+    u64 v = 0;
+    EXPECT_EQ(m.read(0x1010, v), AccessResult::Ok);
+    EXPECT_EQ(v, 0xfeedULL);
+}
+
+TEST(Memory, UnmappedAccessFaults)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    u64 v = 0;
+    EXPECT_EQ(m.read(0x2000, v), AccessResult::Unmapped);
+    EXPECT_EQ(m.write(0x0ff8, 1), AccessResult::Unmapped);
+    EXPECT_EQ(m.check(0x1100), AccessResult::Unmapped); // one past end
+    EXPECT_EQ(m.check(0x10f8), AccessResult::Ok);       // last word
+}
+
+TEST(Memory, MisalignedAccessFaults)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    u64 v = 0;
+    EXPECT_EQ(m.read(0x1004, v), AccessResult::Misaligned);
+    EXPECT_EQ(m.write(0x1001, 1), AccessResult::Misaligned);
+}
+
+TEST(Memory, MultipleDisjointSegments)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    m.addSegment(0x9000, 0x200);
+    EXPECT_EQ(m.write(0x1000, 1), AccessResult::Ok);
+    EXPECT_EQ(m.write(0x9000, 2), AccessResult::Ok);
+    EXPECT_EQ(m.check(0x5000), AccessResult::Unmapped);
+    EXPECT_EQ(m.footprintWords(), (0x100 + 0x200) / 8u);
+}
+
+TEST(Memory, PeekPokeBackdoor)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    m.poke(0x1020, 77);
+    EXPECT_EQ(m.peek(0x1020), 77u);
+    EXPECT_EQ(m.peek(0x5000), 0u); // outside: reads as zero
+    m.poke(0x5000, 1);             // outside: ignored
+    EXPECT_EQ(m.peek(0x5000), 0u);
+}
+
+TEST(Memory, SameContentsDetectsDivergence)
+{
+    Memory a;
+    a.addSegment(0x1000, 0x100);
+    Memory b = a;
+    EXPECT_TRUE(a.sameContents(b));
+    b.poke(0x1008, 5);
+    EXPECT_FALSE(a.sameContents(b));
+    a.poke(0x1008, 5);
+    EXPECT_TRUE(a.sameContents(b));
+}
+
+TEST(Memory, CopyIsIndependent)
+{
+    Memory a;
+    a.addSegment(0x1000, 0x100);
+    a.poke(0x1000, 1);
+    Memory b = a;
+    b.poke(0x1000, 2);
+    EXPECT_EQ(a.peek(0x1000), 1u);
+    EXPECT_EQ(b.peek(0x1000), 2u);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Integration tests pinning the paper's *qualitative* results on fast,
+ * scaled-down runs. These are the regression guards for the headline
+ * claims; the full-size numbers live in bench/ and EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "fault/campaign.hh"
+#include "workload/workload.hh"
+
+using namespace fh;
+
+namespace
+{
+
+isa::Program
+prog(const std::string &name)
+{
+    workload::WorkloadSpec spec;
+    spec.maxThreads = 2;
+    return workload::build(name, spec);
+}
+
+pipeline::CoreParams
+withDetector(const filters::DetectorParams &det)
+{
+    pipeline::CoreParams p;
+    p.detector = det;
+    return p;
+}
+
+Cycle
+cyclesFor(const filters::DetectorParams &det, const isa::Program &p,
+          u64 per_thread = 40000)
+{
+    pipeline::Core core(withDetector(det), &p);
+    return core.runPerThreadBudget(per_thread, 1u << 30);
+}
+
+} // namespace
+
+TEST(PaperShapes, Fig9_PbfsBiasedIsTheSlowestScheme)
+{
+    auto program = prog("400.perl");
+    Cycle base = cyclesFor(filters::DetectorParams::none(), program);
+    Cycle pbfs = cyclesFor(filters::DetectorParams::pbfsSticky(),
+                           program);
+    Cycle pbfsb = cyclesFor(filters::DetectorParams::pbfsBiased(),
+                            program);
+    Cycle fh = cyclesFor(filters::DetectorParams::faultHound(),
+                         program);
+
+    // PBFS: negligible overhead (sticky filters rarely trigger).
+    EXPECT_LT(static_cast<double>(pbfs), 1.08 * base);
+    // PBFS-biased: dramatically slower than everything else.
+    EXPECT_GT(static_cast<double>(pbfsb), 1.25 * base);
+    EXPECT_GT(pbfsb, fh);
+    // FaultHound: much cheaper than PBFS-biased.
+    EXPECT_LT(static_cast<double>(fh) - base,
+              0.7 * (static_cast<double>(pbfsb) - base));
+}
+
+TEST(PaperShapes, Fig9_MemoryBoundWorkloadsHideTheOverhead)
+{
+    auto program = prog("473.astar"); // latency-bound search kernel
+    Cycle base = cyclesFor(filters::DetectorParams::none(), program);
+    Cycle fh = cyclesFor(filters::DetectorParams::faultHound(),
+                         program);
+    EXPECT_LT(static_cast<double>(fh), 1.10 * base)
+        << "recovery work must hide under the memory stalls";
+}
+
+TEST(PaperShapes, Fig8_FaultHoundCoversFarMoreThanPbfs)
+{
+    auto program = prog("400.perl");
+    fault::CampaignConfig cfg;
+    cfg.injections = 150;
+    auto pbfs = fault::runCampaign(
+        withDetector(filters::DetectorParams::pbfsSticky()), &program,
+        cfg);
+    auto fh = fault::runCampaign(
+        withDetector(filters::DetectorParams::faultHound()), &program,
+        cfg);
+    EXPECT_GT(fh.coverage(), pbfs.coverage())
+        << "sticky counters detect only one change per clear";
+    EXPECT_GT(fh.coverage(), 0.25);
+}
+
+TEST(PaperShapes, Fig8_FaultHoundBeatsBackendOnlyViaRenameCoverage)
+{
+    auto program = prog("400.perl");
+    fault::CampaignConfig cfg;
+    cfg.injections = 220;
+    auto be = fault::runCampaign(
+        withDetector(filters::DetectorParams::faultHoundBackend()),
+        &program, cfg);
+    auto fh = fault::runCampaign(
+        withDetector(filters::DetectorParams::faultHound()), &program,
+        cfg);
+    // Full FaultHound adds the rename-fault squash: it must never
+    // cover less than backend-only (sampling noise allowed for).
+    EXPECT_GE(fh.covered() + 2, be.covered());
+}
+
+TEST(PaperShapes, Fig7_MostFaultsAreMasked)
+{
+    auto program = prog("ocean");
+    fault::CampaignConfig cfg;
+    cfg.injections = 200;
+    auto r = fault::runCampaign(
+        withDetector(filters::DetectorParams::none()), &program, cfg);
+    EXPECT_GT(r.maskedFrac(), 0.6);
+    EXPECT_LT(r.sdcFrac(), 0.35);
+}
+
+TEST(PaperShapes, Fig10_EnergyOrderingHolds)
+{
+    auto program = prog("447.dealII");
+    auto run = [&](const filters::DetectorParams &det) {
+        pipeline::Core core(withDetector(det), &program);
+        core.runPerThreadBudget(40000, 1u << 30);
+        return energy::computeEnergy(core).total();
+    };
+    double base = run(filters::DetectorParams::none());
+    double be = run(filters::DetectorParams::faultHoundBackend());
+    double fh = run(filters::DetectorParams::faultHound());
+    EXPECT_GT(be, base);
+    // Full FaultHound adds rollbacks for squash alarms: at least as
+    // expensive as backend-only, within noise.
+    EXPECT_GT(fh, 0.98 * be);
+}
+
+TEST(PaperShapes, Fig12_ReplayBeatsFullRollback)
+{
+    auto program = prog("437.leslie3d");
+    auto replay = filters::DetectorParams::faultHoundBackend();
+    auto rollback = replay;
+    rollback.replayRecovery = false;
+    Cycle with_replay = cyclesFor(replay, program);
+    Cycle with_rollback = cyclesFor(rollback, program);
+    EXPECT_LT(with_replay, with_rollback)
+        << "predecessor replay must be cheaper than full rollback";
+}
+
+TEST(PaperShapes, Fig12_LsqCheckAddsCoverage)
+{
+    auto program = prog("400.perl");
+    fault::CampaignConfig cfg;
+    cfg.injections = 250;
+    // Make LSQ faults prominent so the comparison is well-powered.
+    cfg.mix.lsqFrac = 0.5;
+    cfg.mix.renameFrac = 0.1;
+    auto no_lsq = filters::DetectorParams::faultHoundBackend();
+    no_lsq.lsqCommitCheck = false;
+    auto with_lsq = filters::DetectorParams::faultHoundBackend();
+    auto a = fault::runCampaign(withDetector(no_lsq), &program, cfg);
+    auto b =
+        fault::runCampaign(withDetector(with_lsq), &program, cfg);
+    EXPECT_GE(b.covered() + 2, a.covered());
+    EXPECT_GT(b.detected, 0u)
+        << "the singleton re-execute must declare some faults";
+}
+
+TEST(PaperShapes, Fig6_ValueLocalityProfile)
+{
+    // Most bit positions change in <1% of writes; the low-order bits
+    // carry nearly all the churn (Figure 6).
+    auto program = prog("specjbb");
+    pipeline::CoreParams params =
+        withDetector(filters::DetectorParams::none());
+    pipeline::Core core(params, &program);
+    core.probe().enabled = true;
+    core.runPerThreadBudget(40000, 1u << 30);
+
+    const auto &probe = core.probe();
+    for (unsigned stream = 0; stream < 3; ++stream) {
+        ASSERT_GT(probe.samples[stream], 1000u);
+        unsigned under1 = 0;
+        double low = 0;
+        double high = 0;
+        for (unsigned bit = 0; bit < wordBits; ++bit) {
+            double frac =
+                static_cast<double>(probe.bitChanges[stream][bit]) /
+                static_cast<double>(probe.samples[stream]);
+            if (frac < 0.01)
+                ++under1;
+            (bit < 24 ? low : high) += frac;
+        }
+        EXPECT_GE(under1, 40u) << "stream " << stream;
+        EXPECT_GT(low, high) << "stream " << stream;
+    }
+}

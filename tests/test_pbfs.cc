@@ -1,0 +1,113 @@
+/**
+ * @file
+ * PbfsTable: PC-indexed filter tables with sticky counters and the
+ * periodic flash clear (Section 2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "filters/pbfs.hh"
+
+using namespace fh;
+using namespace fh::filters;
+
+namespace
+{
+
+PbfsParams
+sticky(unsigned entries = 64, u64 clear = 0)
+{
+    PbfsParams p;
+    p.entries = entries;
+    p.clearInterval = clear;
+    p.counters = CounterConfig::sticky();
+    return p;
+}
+
+} // namespace
+
+TEST(Pbfs, FirstAccessInstallsWithoutTrigger)
+{
+    PbfsTable t(sticky());
+    EXPECT_FALSE(t.check(0x10, 0xabc).trigger);
+}
+
+TEST(Pbfs, StableValueNeverTriggers)
+{
+    PbfsTable t(sticky());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(t.check(0x10, 0x5555).trigger);
+}
+
+TEST(Pbfs, ChangeTriggersOncePerStickySaturation)
+{
+    PbfsTable t(sticky());
+    t.check(7, 0);
+    EXPECT_TRUE(t.check(7, 1).trigger);  // bit 0 change detected
+    EXPECT_FALSE(t.check(7, 0).trigger); // sticky: now a wildcard
+    EXPECT_FALSE(t.check(7, 1).trigger);
+}
+
+TEST(Pbfs, DistinctPcsTrainIndependently)
+{
+    PbfsTable t(sticky());
+    t.check(1, 0x100);
+    t.check(2, 0x200);
+    EXPECT_FALSE(t.check(1, 0x100).trigger);
+    EXPECT_FALSE(t.check(2, 0x200).trigger);
+    // PC 1's neighborhood knows nothing about PC 2's values.
+    EXPECT_TRUE(t.check(1, 0x200).trigger);
+}
+
+TEST(Pbfs, PcsAliasModuloTableSize)
+{
+    PbfsTable t(sticky(16));
+    t.check(3, 0xaaaa);
+    // PC 19 maps to the same entry: the foreign value triggers.
+    EXPECT_TRUE(t.check(19, 0x5555).trigger);
+}
+
+TEST(Pbfs, FlashClearRearmsStickyCounters)
+{
+    PbfsTable t(sticky(64, 8)); // clear every 8 accesses
+    t.check(1, 0);
+    EXPECT_TRUE(t.check(1, 1).trigger);
+    EXPECT_FALSE(t.check(1, 0).trigger); // saturated
+    for (int i = 0; i < 8; ++i)
+        t.check(1, 0); // drive past the clear boundary
+    EXPECT_GE(t.clears(), 1u);
+    EXPECT_TRUE(t.check(1, 1).trigger) << "clear must re-arm";
+}
+
+TEST(Pbfs, BiasedVariantRecoversDetection)
+{
+    PbfsParams p;
+    p.entries = 64;
+    p.counters = CounterConfig::biased();
+    PbfsTable t(p);
+    t.check(1, 0);
+    EXPECT_TRUE(t.check(1, 1).trigger);
+    // Two stable revisits re-arm the biased counter...
+    t.check(1, 1);
+    t.check(1, 1);
+    t.check(1, 1);
+    // ...so the next change is detected again (unlike sticky).
+    EXPECT_TRUE(t.check(1, 0).trigger);
+}
+
+TEST(Pbfs, AccessCounting)
+{
+    PbfsTable t(sticky());
+    for (int i = 0; i < 9; ++i)
+        t.check(i, i);
+    EXPECT_EQ(t.accesses(), 9u);
+}
+
+TEST(Pbfs, MismatchMaskReportsFaultyBit)
+{
+    PbfsTable t(sticky());
+    t.check(4, 0x1000);
+    auto res = t.check(4, 0x1000 ^ (1ULL << 33));
+    EXPECT_TRUE(res.trigger);
+    EXPECT_EQ(res.mismatchMask, 1ULL << 33);
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SecondLevelFilter: delinquent-bit learning and suppression
+ * (Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "filters/second_level.hh"
+
+using namespace fh;
+using namespace fh::filters;
+
+TEST(SecondLevel, FirstAlarmInAnyBitIsAllowed)
+{
+    SecondLevelFilter f(8);
+    EXPECT_TRUE(f.onTrigger(1ULL << 7));
+    EXPECT_EQ(f.allowed(), 1u);
+}
+
+TEST(SecondLevel, RepeatAlarmInSameBitIsSuppressed)
+{
+    SecondLevelFilter f(8);
+    f.onTrigger(1ULL << 7);
+    EXPECT_FALSE(f.onTrigger(1ULL << 7));
+    EXPECT_EQ(f.suppressed(), 1u);
+}
+
+TEST(SecondLevel, BitRearmsAfterSevenQuietTriggers)
+{
+    SecondLevelFilter f(8);
+    f.onTrigger(1ULL << 3);
+    // 7 triggers in which bit 3 is silent...
+    for (int i = 0; i < 7; ++i)
+        f.onTrigger(1ULL << 9); // first allowed, rest suppressed
+    EXPECT_TRUE(f.quietAt(3));
+    EXPECT_TRUE(f.onTrigger(1ULL << 3));
+}
+
+TEST(SecondLevel, AnyQuietBitInMaskAllowsTheTrigger)
+{
+    SecondLevelFilter f(8);
+    f.onTrigger(1ULL << 2); // bit 2 now armed
+    // Mask includes armed bit 2 plus quiet bit 40: allowed.
+    EXPECT_TRUE(f.onTrigger((1ULL << 2) | (1ULL << 40)));
+}
+
+TEST(SecondLevel, DelinquentBitsGetSilencedUnderChurn)
+{
+    // Bits 0-3 alarm constantly; bit 50 alarms once late. The
+    // delinquent bits get suppressed while the rare bit is heard —
+    // the whole point of the second-level filter.
+    SecondLevelFilter f(8);
+    unsigned low_allowed = 0;
+    for (int i = 0; i < 100; ++i)
+        low_allowed += f.onTrigger(1ULL << (i % 4)) ? 1 : 0;
+    EXPECT_LE(low_allowed, 8u);
+    EXPECT_TRUE(f.onTrigger(1ULL << 50));
+}
+
+TEST(SecondLevel, WouldAllowIsReadOnly)
+{
+    SecondLevelFilter f(8);
+    f.onTrigger(1ULL << 5);
+    SecondLevelFilter before = f;
+    EXPECT_FALSE(f.wouldAllow(1ULL << 5));
+    EXPECT_TRUE(f.wouldAllow(1ULL << 6));
+    EXPECT_TRUE(f == before);
+}
+
+TEST(SecondLevel, EmptyMaskSuppressed)
+{
+    SecondLevelFilter f(8);
+    EXPECT_FALSE(f.onTrigger(0));
+    EXPECT_FALSE(f.wouldAllow(0));
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Exact transition behavior of the filter state machines: PBFS's
+ * sticky bit, the biased two-bit machine of Figure 2(b), the standard
+ * counter of Figure 2(a), and the generalized N-state machine used by
+ * the second-level filter and the squash machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "filters/state_machine.hh"
+
+using namespace fh::filters;
+
+TEST(StickyBit, FirstChangeAlarmsThenSaturates)
+{
+    StickyBit bit;
+    EXPECT_TRUE(bit.unchanging());
+    EXPECT_FALSE(bit.observe(false));
+    EXPECT_TRUE(bit.observe(true)); // first change alarms
+    EXPECT_FALSE(bit.unchanging());
+    // Saturated: further changes are silent.
+    EXPECT_FALSE(bit.observe(true));
+    EXPECT_FALSE(bit.observe(false));
+    EXPECT_FALSE(bit.observe(true));
+}
+
+TEST(StickyBit, ClearRearmsDetection)
+{
+    StickyBit bit;
+    EXPECT_TRUE(bit.observe(true));
+    bit.clear();
+    EXPECT_TRUE(bit.unchanging());
+    EXPECT_TRUE(bit.observe(true)); // detects again after flash clear
+}
+
+TEST(BiasedTwoBit, RequiresTwoNoChangesAfterAChange)
+{
+    BiasedTwoBit sm;
+    EXPECT_TRUE(sm.unchanging());
+    EXPECT_TRUE(sm.observe(true)); // change in U alarms, lands in C2
+    EXPECT_EQ(sm.state(), BiasedTwoBit::C2);
+    EXPECT_FALSE(sm.observe(false)); // C2 -> C1
+    EXPECT_EQ(sm.state(), BiasedTwoBit::C1);
+    EXPECT_FALSE(sm.observe(false)); // C1 -> U: two no-changes needed
+    EXPECT_TRUE(sm.unchanging());
+}
+
+TEST(BiasedTwoBit, ChangeInIntermediateStateDoesNotAlarm)
+{
+    BiasedTwoBit sm;
+    sm.observe(true);  // U -> C2 (alarm)
+    sm.observe(false); // C2 -> C1
+    // Change in C1: no alarm (the bias's coverage cost, Section 3).
+    EXPECT_FALSE(sm.observe(true));
+    EXPECT_EQ(sm.state(), BiasedTwoBit::C3);
+}
+
+TEST(BiasedTwoBit, SaturatesAtC3)
+{
+    BiasedTwoBit sm;
+    sm.observe(true);
+    sm.observe(true); // C2 -> C3
+    EXPECT_EQ(sm.state(), BiasedTwoBit::C3);
+    sm.observe(true);
+    EXPECT_EQ(sm.state(), BiasedTwoBit::C3);
+    // Three no-changes to return to U from saturation.
+    sm.observe(false);
+    sm.observe(false);
+    EXPECT_FALSE(sm.unchanging());
+    sm.observe(false);
+    EXPECT_TRUE(sm.unchanging());
+}
+
+TEST(StandardTwoBit, DirectTransitionsBothWays)
+{
+    StandardTwoBit sm;
+    EXPECT_TRUE(sm.unchanging());
+    EXPECT_TRUE(sm.observe(true)); // U -> C1, alarm
+    EXPECT_FALSE(sm.unchanging());
+    EXPECT_FALSE(sm.observe(false)); // C1 -> U directly (no bias)
+    EXPECT_TRUE(sm.unchanging());
+    // The unbiased machine re-alarms on every alternation: this is
+    // exactly why PBFS with standard counters has unacceptable
+    // false-positive rates (Section 1).
+    EXPECT_TRUE(sm.observe(true));
+    EXPECT_FALSE(sm.observe(false));
+    EXPECT_TRUE(sm.observe(true));
+}
+
+TEST(BiasedNState, NeedsNMinusOneQuietObservations)
+{
+    BiasedNState sm(8);
+    EXPECT_TRUE(sm.quiet());
+    EXPECT_TRUE(sm.record(true)); // event while quiet: alarm, re-arm
+    EXPECT_FALSE(sm.quiet());
+    // 7 consecutive quiet observations to re-enter quiet.
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_FALSE(sm.record(false));
+        EXPECT_FALSE(sm.quiet());
+    }
+    EXPECT_FALSE(sm.record(false));
+    EXPECT_TRUE(sm.quiet());
+}
+
+TEST(BiasedNState, EventWhileArmedIsSuppressedButRecorded)
+{
+    BiasedNState sm(8);
+    sm.record(true);
+    sm.record(false);
+    sm.record(false);
+    EXPECT_EQ(sm.state(), 5);
+    // A new event is suppressed but fully re-arms the machine.
+    EXPECT_FALSE(sm.record(true));
+    EXPECT_EQ(sm.state(), 7);
+}
+
+TEST(BiasedNState, ArmAndReset)
+{
+    BiasedNState sm(4);
+    sm.arm();
+    EXPECT_FALSE(sm.quiet());
+    EXPECT_EQ(sm.state(), 3);
+    sm.reset();
+    EXPECT_TRUE(sm.quiet());
+}
+
+class BiasedNStateDepth : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(BiasedNStateDepth, QuietAfterExactlyNMinusOne)
+{
+    const int n = GetParam();
+    BiasedNState sm(static_cast<fh::u8>(n));
+    sm.record(true);
+    for (int i = 0; i < n - 2; ++i) {
+        sm.record(false);
+        EXPECT_FALSE(sm.quiet()) << "after " << i + 1 << " quiets";
+    }
+    sm.record(false);
+    EXPECT_TRUE(sm.quiet());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BiasedNStateDepth,
+                         testing::Values(2, 3, 4, 8, 16));
