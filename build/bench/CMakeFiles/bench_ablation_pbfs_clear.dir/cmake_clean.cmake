@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pbfs_clear.dir/bench_ablation_pbfs_clear.cc.o"
+  "CMakeFiles/bench_ablation_pbfs_clear.dir/bench_ablation_pbfs_clear.cc.o.d"
+  "bench_ablation_pbfs_clear"
+  "bench_ablation_pbfs_clear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pbfs_clear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_statemachine.dir/bench_ablation_statemachine.cc.o"
+  "CMakeFiles/bench_ablation_statemachine.dir/bench_ablation_statemachine.cc.o.d"
+  "bench_ablation_statemachine"
+  "bench_ablation_statemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_tcam_size.cc" "bench/CMakeFiles/bench_ablation_tcam_size.dir/bench_ablation_tcam_size.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_tcam_size.dir/bench_ablation_tcam_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fh_redundancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_coverage_fp.dir/bench_fig8_coverage_fp.cc.o"
+  "CMakeFiles/bench_fig8_coverage_fp.dir/bench_fig8_coverage_fp.cc.o.d"
+  "bench_fig8_coverage_fp"
+  "bench_fig8_coverage_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_coverage_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_playground.dir/detector_playground.cpp.o"
+  "CMakeFiles/detector_playground.dir/detector_playground.cpp.o.d"
+  "detector_playground"
+  "detector_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhsim.dir/fhsim.cpp.o"
+  "CMakeFiles/fhsim.dir/fhsim.cpp.o.d"
+  "fhsim"
+  "fhsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_energy.dir/energy/cacti_lite.cc.o"
+  "CMakeFiles/fh_energy.dir/energy/cacti_lite.cc.o.d"
+  "CMakeFiles/fh_energy.dir/energy/energy_model.cc.o"
+  "CMakeFiles/fh_energy.dir/energy/energy_model.cc.o.d"
+  "libfh_energy.a"
+  "libfh_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_fault.dir/fault/campaign.cc.o"
+  "CMakeFiles/fh_fault.dir/fault/campaign.cc.o.d"
+  "CMakeFiles/fh_fault.dir/fault/injector.cc.o"
+  "CMakeFiles/fh_fault.dir/fault/injector.cc.o.d"
+  "CMakeFiles/fh_fault.dir/fault/tandem.cc.o"
+  "CMakeFiles/fh_fault.dir/fault/tandem.cc.o.d"
+  "libfh_fault.a"
+  "libfh_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/bit_filter.cc" "src/CMakeFiles/fh_filters.dir/filters/bit_filter.cc.o" "gcc" "src/CMakeFiles/fh_filters.dir/filters/bit_filter.cc.o.d"
+  "/root/repo/src/filters/detector.cc" "src/CMakeFiles/fh_filters.dir/filters/detector.cc.o" "gcc" "src/CMakeFiles/fh_filters.dir/filters/detector.cc.o.d"
+  "/root/repo/src/filters/pbfs.cc" "src/CMakeFiles/fh_filters.dir/filters/pbfs.cc.o" "gcc" "src/CMakeFiles/fh_filters.dir/filters/pbfs.cc.o.d"
+  "/root/repo/src/filters/second_level.cc" "src/CMakeFiles/fh_filters.dir/filters/second_level.cc.o" "gcc" "src/CMakeFiles/fh_filters.dir/filters/second_level.cc.o.d"
+  "/root/repo/src/filters/state_machine.cc" "src/CMakeFiles/fh_filters.dir/filters/state_machine.cc.o" "gcc" "src/CMakeFiles/fh_filters.dir/filters/state_machine.cc.o.d"
+  "/root/repo/src/filters/tcam.cc" "src/CMakeFiles/fh_filters.dir/filters/tcam.cc.o" "gcc" "src/CMakeFiles/fh_filters.dir/filters/tcam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

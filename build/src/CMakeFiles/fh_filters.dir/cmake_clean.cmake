@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_filters.dir/filters/bit_filter.cc.o"
+  "CMakeFiles/fh_filters.dir/filters/bit_filter.cc.o.d"
+  "CMakeFiles/fh_filters.dir/filters/detector.cc.o"
+  "CMakeFiles/fh_filters.dir/filters/detector.cc.o.d"
+  "CMakeFiles/fh_filters.dir/filters/pbfs.cc.o"
+  "CMakeFiles/fh_filters.dir/filters/pbfs.cc.o.d"
+  "CMakeFiles/fh_filters.dir/filters/second_level.cc.o"
+  "CMakeFiles/fh_filters.dir/filters/second_level.cc.o.d"
+  "CMakeFiles/fh_filters.dir/filters/state_machine.cc.o"
+  "CMakeFiles/fh_filters.dir/filters/state_machine.cc.o.d"
+  "CMakeFiles/fh_filters.dir/filters/tcam.cc.o"
+  "CMakeFiles/fh_filters.dir/filters/tcam.cc.o.d"
+  "libfh_filters.a"
+  "libfh_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/exec.cc" "src/CMakeFiles/fh_isa.dir/isa/exec.cc.o" "gcc" "src/CMakeFiles/fh_isa.dir/isa/exec.cc.o.d"
+  "/root/repo/src/isa/functional.cc" "src/CMakeFiles/fh_isa.dir/isa/functional.cc.o" "gcc" "src/CMakeFiles/fh_isa.dir/isa/functional.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/fh_isa.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/fh_isa.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/fh_isa.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/fh_isa.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/fh_isa.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/fh_isa.dir/isa/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

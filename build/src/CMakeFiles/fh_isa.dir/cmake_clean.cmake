@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_isa.dir/isa/exec.cc.o"
+  "CMakeFiles/fh_isa.dir/isa/exec.cc.o.d"
+  "CMakeFiles/fh_isa.dir/isa/functional.cc.o"
+  "CMakeFiles/fh_isa.dir/isa/functional.cc.o.d"
+  "CMakeFiles/fh_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/fh_isa.dir/isa/instruction.cc.o.d"
+  "CMakeFiles/fh_isa.dir/isa/opcode.cc.o"
+  "CMakeFiles/fh_isa.dir/isa/opcode.cc.o.d"
+  "CMakeFiles/fh_isa.dir/isa/program.cc.o"
+  "CMakeFiles/fh_isa.dir/isa/program.cc.o.d"
+  "libfh_isa.a"
+  "libfh_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

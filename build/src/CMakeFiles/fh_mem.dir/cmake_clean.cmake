@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/fh_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/fh_mem.dir/mem/hierarchy.cc.o"
+  "CMakeFiles/fh_mem.dir/mem/hierarchy.cc.o.d"
+  "CMakeFiles/fh_mem.dir/mem/memory.cc.o"
+  "CMakeFiles/fh_mem.dir/mem/memory.cc.o.d"
+  "CMakeFiles/fh_mem.dir/mem/tlb.cc.o"
+  "CMakeFiles/fh_mem.dir/mem/tlb.cc.o.d"
+  "libfh_mem.a"
+  "libfh_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfh_mem.a"
+)

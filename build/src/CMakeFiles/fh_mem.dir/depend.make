@@ -1,0 +1,2 @@
+# Empty dependencies file for fh_mem.
+# This may be replaced when dependencies are built.

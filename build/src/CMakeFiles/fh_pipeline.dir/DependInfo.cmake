@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/branch_predictor.cc" "src/CMakeFiles/fh_pipeline.dir/pipeline/branch_predictor.cc.o" "gcc" "src/CMakeFiles/fh_pipeline.dir/pipeline/branch_predictor.cc.o.d"
+  "/root/repo/src/pipeline/core.cc" "src/CMakeFiles/fh_pipeline.dir/pipeline/core.cc.o" "gcc" "src/CMakeFiles/fh_pipeline.dir/pipeline/core.cc.o.d"
+  "/root/repo/src/pipeline/regfile.cc" "src/CMakeFiles/fh_pipeline.dir/pipeline/regfile.cc.o" "gcc" "src/CMakeFiles/fh_pipeline.dir/pipeline/regfile.cc.o.d"
+  "/root/repo/src/pipeline/rename.cc" "src/CMakeFiles/fh_pipeline.dir/pipeline/rename.cc.o" "gcc" "src/CMakeFiles/fh_pipeline.dir/pipeline/rename.cc.o.d"
+  "/root/repo/src/pipeline/rob.cc" "src/CMakeFiles/fh_pipeline.dir/pipeline/rob.cc.o" "gcc" "src/CMakeFiles/fh_pipeline.dir/pipeline/rob.cc.o.d"
+  "/root/repo/src/pipeline/stats_dump.cc" "src/CMakeFiles/fh_pipeline.dir/pipeline/stats_dump.cc.o" "gcc" "src/CMakeFiles/fh_pipeline.dir/pipeline/stats_dump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fh_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_pipeline.dir/pipeline/branch_predictor.cc.o"
+  "CMakeFiles/fh_pipeline.dir/pipeline/branch_predictor.cc.o.d"
+  "CMakeFiles/fh_pipeline.dir/pipeline/core.cc.o"
+  "CMakeFiles/fh_pipeline.dir/pipeline/core.cc.o.d"
+  "CMakeFiles/fh_pipeline.dir/pipeline/regfile.cc.o"
+  "CMakeFiles/fh_pipeline.dir/pipeline/regfile.cc.o.d"
+  "CMakeFiles/fh_pipeline.dir/pipeline/rename.cc.o"
+  "CMakeFiles/fh_pipeline.dir/pipeline/rename.cc.o.d"
+  "CMakeFiles/fh_pipeline.dir/pipeline/rob.cc.o"
+  "CMakeFiles/fh_pipeline.dir/pipeline/rob.cc.o.d"
+  "CMakeFiles/fh_pipeline.dir/pipeline/stats_dump.cc.o"
+  "CMakeFiles/fh_pipeline.dir/pipeline/stats_dump.cc.o.d"
+  "libfh_pipeline.a"
+  "libfh_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_redundancy.dir/redundancy/srt.cc.o"
+  "CMakeFiles/fh_redundancy.dir/redundancy/srt.cc.o.d"
+  "libfh_redundancy.a"
+  "libfh_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

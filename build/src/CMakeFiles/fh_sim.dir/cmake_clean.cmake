@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_sim.dir/sim/config.cc.o"
+  "CMakeFiles/fh_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/fh_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/fh_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/fh_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/fh_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/fh_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/fh_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/fh_sim.dir/sim/text_table.cc.o"
+  "CMakeFiles/fh_sim.dir/sim/text_table.cc.o.d"
+  "libfh_sim.a"
+  "libfh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

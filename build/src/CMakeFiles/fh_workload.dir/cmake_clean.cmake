@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fh_workload.dir/workload/kernels.cc.o"
+  "CMakeFiles/fh_workload.dir/workload/kernels.cc.o.d"
+  "CMakeFiles/fh_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/fh_workload.dir/workload/workload.cc.o.d"
+  "libfh_workload.a"
+  "libfh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_filter.dir/test_bit_filter.cc.o"
+  "CMakeFiles/test_bit_filter.dir/test_bit_filter.cc.o.d"
+  "test_bit_filter"
+  "test_bit_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

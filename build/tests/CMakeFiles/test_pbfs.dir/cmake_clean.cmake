@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbfs.dir/test_pbfs.cc.o"
+  "CMakeFiles/test_pbfs.dir/test_pbfs.cc.o.d"
+  "test_pbfs"
+  "test_pbfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

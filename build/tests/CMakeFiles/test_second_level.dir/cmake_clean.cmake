@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_second_level.dir/test_second_level.cc.o"
+  "CMakeFiles/test_second_level.dir/test_second_level.cc.o.d"
+  "test_second_level"
+  "test_second_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_second_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

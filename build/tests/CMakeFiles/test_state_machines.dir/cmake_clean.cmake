@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_machines.dir/test_state_machines.cc.o"
+  "CMakeFiles/test_state_machines.dir/test_state_machines.cc.o.d"
+  "test_state_machines"
+  "test_state_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
