@@ -19,23 +19,37 @@ main()
     auto cfg = bench::campaignConfig();
     const u64 budget = bench::envU64("FH_INSTS", 100000);
     const std::vector<u64> intervals = {1000, 5000, 10000, 50000};
+    auto benchmarks = bench::selectedBenchmarks();
+
+    // interval x benchmark cells are independent: outer pool over the
+    // cells, leftover FH_THREADS budget into each cell's campaign.
+    const u64 ncells = intervals.size() * benchmarks.size();
+    std::vector<double> cov(ncells);
+    std::vector<double> fp(ncells);
+    const auto split = bench::splitThreads(ncells);
+    cfg.threads = split.inner;
+    exec::ThreadPool pool(split.outer);
+    pool.parallelFor(ncells, [&](u64 j) {
+        const u64 interval = intervals[j / benchmarks.size()];
+        isa::Program prog =
+            bench::buildProgram(benchmarks[j % benchmarks.size()], 2);
+        auto det = filters::DetectorParams::pbfsSticky();
+        det.pbfs.clearInterval = interval;
+        auto params = bench::coreParams(det);
+        cov[j] = fault::runCampaign(params, &prog, cfg).coverage();
+        fp[j] = bench::fpRateSteady(params, &prog, budget);
+    });
 
     TextTable table({"clear interval", "SDC coverage", "FP rate"});
-    for (u64 interval : intervals) {
-        std::vector<double> cov;
-        std::vector<double> fp;
-        for (const auto &info : bench::selectedBenchmarks()) {
-            isa::Program prog = bench::buildProgram(info, 2);
-            auto det = filters::DetectorParams::pbfsSticky();
-            det.pbfs.clearInterval = interval;
-            auto params = bench::coreParams(det);
-            cov.push_back(
-                fault::runCampaign(params, &prog, cfg).coverage());
-            fp.push_back(bench::fpRateSteady(params, &prog, budget));
-        }
-        table.addRow({std::to_string(interval),
-                      TextTable::pct(bench::mean(cov)),
-                      TextTable::pct(bench::mean(fp), 3)});
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        const auto first = cov.begin() + i * benchmarks.size();
+        std::vector<double> cov_row(first, first + benchmarks.size());
+        const auto fp_first = fp.begin() + i * benchmarks.size();
+        std::vector<double> fp_row(fp_first,
+                                   fp_first + benchmarks.size());
+        table.addRow({std::to_string(intervals[i]),
+                      TextTable::pct(bench::mean(cov_row)),
+                      TextTable::pct(bench::mean(fp_row), 3)});
     }
 
     std::cout << "PBFS sticky-counter flash-clear sweep (Section 2.1: "

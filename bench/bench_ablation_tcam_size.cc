@@ -22,15 +22,27 @@ main()
     TextTable table({"benchmark", "8", "16", "32", "64"});
     std::vector<std::vector<double>> cols(sizes.size());
 
-    for (const auto &info : bench::selectedBenchmarks()) {
-        isa::Program prog = bench::buildProgram(info, 2);
-        std::vector<std::string> row{info.name};
+    // benchmark x size cells are independent: outer pool over the
+    // cells, leftover FH_THREADS budget into each cell's campaign.
+    auto benchmarks = bench::selectedBenchmarks();
+    const u64 ncells = benchmarks.size() * sizes.size();
+    std::vector<double> cells(ncells);
+    const auto split = bench::splitThreads(ncells);
+    cfg.threads = split.inner;
+    exec::ThreadPool pool(split.outer);
+    pool.parallelFor(ncells, [&](u64 j) {
+        isa::Program prog =
+            bench::buildProgram(benchmarks[j / sizes.size()], 2);
+        auto det = filters::DetectorParams::faultHound();
+        det.tcam.entries = sizes[j % sizes.size()];
+        auto params = bench::coreParams(det);
+        cells[j] = fault::runCampaign(params, &prog, cfg).coverage();
+    });
+
+    for (size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> row{benchmarks[b].name};
         for (size_t i = 0; i < sizes.size(); ++i) {
-            auto det = filters::DetectorParams::faultHound();
-            det.tcam.entries = sizes[i];
-            auto params = bench::coreParams(det);
-            double cov =
-                fault::runCampaign(params, &prog, cfg).coverage();
+            const double cov = cells[b * sizes.size() + i];
             cols[i].push_back(cov);
             row.push_back(TextTable::pct(cov));
         }

@@ -16,16 +16,28 @@ int
 main()
 {
     auto cfg = bench::campaignConfig();
+    auto benchmarks = bench::selectedBenchmarks();
 
     TextTable table({"benchmark", "covered", "2nd-level", "compl-reg",
                      "rename", "no-trigger", "other"});
     std::vector<std::vector<double>> cols(6);
 
-    for (const auto &info : bench::selectedBenchmarks()) {
-        isa::Program prog = bench::buildProgram(info, 2);
+    // One campaign per benchmark; campaigns are independent, so run
+    // them on an outer pool and shard each one's forks with the rest.
+    std::vector<fault::CampaignResult> results(benchmarks.size());
+    const auto split = bench::splitThreads(benchmarks.size());
+    cfg.threads = split.inner;
+    exec::ThreadPool pool(split.outer);
+    pool.parallelFor(benchmarks.size(), [&](u64 b) {
+        isa::Program prog = bench::buildProgram(benchmarks[b], 2);
         auto params =
             bench::coreParams(filters::DetectorParams::faultHound());
-        auto res = fault::runCampaign(params, &prog, cfg);
+        results[b] = fault::runCampaign(params, &prog, cfg);
+    });
+
+    for (size_t b = 0; b < benchmarks.size(); ++b) {
+        const auto &info = benchmarks[b];
+        const auto &res = results[b];
 
         const double sdc = std::max<double>(1.0, res.sdc);
         const double vals[6] = {

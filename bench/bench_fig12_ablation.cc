@@ -55,14 +55,21 @@ main()
         {"FH-BE", backendVariant(true, true, true, true)},
     };
 
+    // Each (variant, benchmark) cell of every section is independent;
+    // reuse one outer pool for all three and shard the right-hand
+    // campaigns' forks with the leftover budget.
+    const auto split = bench::splitThreads(benchmarks.size());
+    cfg.threads = split.inner;
+    exec::ThreadPool pool(split.outer);
+
     TextTable fp({"variant", "false-positive rate"});
     for (const auto &variant : fp_variants) {
-        std::vector<double> rates;
-        for (const auto &info : benchmarks) {
-            isa::Program prog = bench::buildProgram(info, 2);
-            rates.push_back(bench::fpRateSteady(
-                bench::coreParams(variant.params), &prog, budget));
-        }
+        std::vector<double> rates(benchmarks.size());
+        pool.parallelFor(benchmarks.size(), [&](u64 b) {
+            isa::Program prog = bench::buildProgram(benchmarks[b], 2);
+            rates[b] = bench::fpRateSteady(
+                bench::coreParams(variant.params), &prog, budget);
+        });
         fp.addRow({variant.label,
                    TextTable::pct(bench::mean(rates), 2)});
     }
@@ -73,10 +80,10 @@ main()
     fp.print(std::cout);
 
     // ---- middle: full rollback vs replay performance ----
-    std::vector<double> o_rollback;
-    std::vector<double> o_replay;
-    for (const auto &info : benchmarks) {
-        isa::Program prog = bench::buildProgram(info, 2);
+    std::vector<double> o_rollback(benchmarks.size());
+    std::vector<double> o_replay(benchmarks.size());
+    pool.parallelFor(benchmarks.size(), [&](u64 i) {
+        isa::Program prog = bench::buildProgram(benchmarks[i], 2);
         auto base = bench::runBudget(
             bench::coreParams(filters::DetectorParams::none()), &prog,
             budget);
@@ -87,9 +94,9 @@ main()
             bench::coreParams(backendVariant(true, true, true, true)),
             &prog, budget);
         const double b = static_cast<double>(base.cycle());
-        o_rollback.push_back(static_cast<double>(rb.cycle()) / b - 1.0);
-        o_replay.push_back(static_cast<double>(rp.cycle()) / b - 1.0);
-    }
+        o_rollback[i] = static_cast<double>(rb.cycle()) / b - 1.0;
+        o_replay[i] = static_cast<double>(rp.cycle()) / b - 1.0;
+    });
 
     TextTable perf({"variant", "performance overhead"});
     perf.addRow({"FH-BE-full-rollback",
@@ -101,19 +108,19 @@ main()
     perf.print(std::cout);
 
     // ---- right: LSQ coverage ----
-    std::vector<double> cov_nolsq;
-    std::vector<double> cov_lsq;
-    for (const auto &info : benchmarks) {
-        isa::Program prog = bench::buildProgram(info, 2);
+    std::vector<double> cov_nolsq(benchmarks.size());
+    std::vector<double> cov_lsq(benchmarks.size());
+    pool.parallelFor(benchmarks.size(), [&](u64 i) {
+        isa::Program prog = bench::buildProgram(benchmarks[i], 2);
         auto r0 = fault::runCampaign(
             bench::coreParams(backendVariant(true, true, true, false)),
             &prog, cfg);
         auto r1 = fault::runCampaign(
             bench::coreParams(backendVariant(true, true, true, true)),
             &prog, cfg);
-        cov_nolsq.push_back(r0.coverage());
-        cov_lsq.push_back(r1.coverage());
-    }
+        cov_nolsq[i] = r0.coverage();
+        cov_lsq[i] = r1.coverage();
+    });
 
     TextTable cov({"variant", "SDC coverage"});
     cov.addRow({"FH-BE-noLSQ", TextTable::pct(bench::mean(cov_nolsq))});

@@ -23,6 +23,7 @@ main()
     auto cfg = bench::campaignConfig();
     const u64 fp_budget = bench::envU64("FH_INSTS", 120000);
     auto schemes = bench::fig8Schemes();
+    auto benchmarks = bench::selectedBenchmarks();
 
     TextTable cov({"benchmark", "PBFS", "PBFS-biased", "FH-backend",
                    "FaultHound"});
@@ -31,20 +32,35 @@ main()
     std::vector<std::vector<double>> cov_cols(schemes.size());
     std::vector<std::vector<double>> fp_cols(schemes.size());
 
-    for (const auto &info : bench::selectedBenchmarks()) {
+    // Every benchmark x scheme cell is independent: run the cells on
+    // an outer pool and give each campaign the rest of the budget.
+    struct Cell
+    {
+        double cov = 0.0;
+        double fp = 0.0;
+    };
+    std::vector<Cell> cells(benchmarks.size() * schemes.size());
+    const auto split = bench::splitThreads(cells.size());
+    cfg.threads = split.inner;
+    exec::ThreadPool pool(split.outer);
+    pool.parallelFor(cells.size(), [&](u64 j) {
+        const auto &info = benchmarks[j / schemes.size()];
+        const auto &scheme = schemes[j % schemes.size()];
         isa::Program prog = bench::buildProgram(info, 2);
-        std::vector<std::string> cov_row{info.name};
-        std::vector<std::string> fp_row{info.name};
+        auto params = bench::coreParams(scheme.params);
+        cells[j].cov = fault::runCampaign(params, &prog, cfg).coverage();
+        cells[j].fp = bench::fpRateSteady(params, &prog, fp_budget);
+    });
 
+    for (size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> cov_row{benchmarks[b].name};
+        std::vector<std::string> fp_row{benchmarks[b].name};
         for (size_t s = 0; s < schemes.size(); ++s) {
-            auto params = bench::coreParams(schemes[s].params);
-            auto res = fault::runCampaign(params, &prog, cfg);
-            cov_cols[s].push_back(res.coverage());
-            cov_row.push_back(TextTable::pct(res.coverage()));
-
-            double rate = bench::fpRateSteady(params, &prog, fp_budget);
-            fp_cols[s].push_back(rate);
-            fp_row.push_back(TextTable::pct(rate, 2));
+            const Cell &cell = cells[b * schemes.size() + s];
+            cov_cols[s].push_back(cell.cov);
+            cov_row.push_back(TextTable::pct(cell.cov));
+            fp_cols[s].push_back(cell.fp);
+            fp_row.push_back(TextTable::pct(cell.fp, 2));
         }
         cov.addRow(cov_row);
         fp.addRow(fp_row);

@@ -8,15 +8,24 @@
  *   FH_INJECTIONS  fault injections per campaign
  *   FH_WINDOW      run-window length (instructions, paper: 1000)
  *   FH_SEED        master seed
+ *   FH_THREADS     host worker threads (default: all hardware
+ *                  threads; results are bit-identical for any value)
+ *
+ * The campaign-heavy harnesses additionally parallelize across their
+ * independent scheme/size/benchmark cells, splitting the FH_THREADS
+ * budget between cells (outer) and each cell's campaign forks (inner)
+ * via splitThreads().
  */
 
 #ifndef FH_BENCH_HARNESS_HH
 #define FH_BENCH_HARNESS_HH
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.hh"
 #include "fault/campaign.hh"
 #include "filters/detector.hh"
 #include "pipeline/core.hh"
@@ -38,6 +47,36 @@ envStr(const char *name, const std::string &def)
 {
     const char *v = std::getenv(name);
     return v ? v : def;
+}
+
+/** Worker-thread budget from FH_THREADS (unset/0 = all hardware). */
+inline unsigned
+envThreads()
+{
+    return exec::resolveThreads(
+        static_cast<unsigned>(envU64("FH_THREADS", 0)));
+}
+
+/**
+ * Split of the FH_THREADS budget between the independent
+ * configuration cells of a harness and each cell's campaign forks.
+ */
+struct ThreadSplit
+{
+    unsigned outer = 1; ///< exec::ThreadPool size across cells
+    unsigned inner = 1; ///< CampaignConfig::threads within a cell
+};
+
+inline ThreadSplit
+splitThreads(u64 cells)
+{
+    const u64 budget = envThreads();
+    ThreadSplit split;
+    split.outer = static_cast<unsigned>(
+        std::min<u64>(std::max<u64>(cells, 1), budget));
+    split.inner =
+        static_cast<unsigned>(std::max<u64>(1, budget / split.outer));
+    return split;
 }
 
 /** Benchmarks selected by FH_BENCH (default: all of Table 1). */
@@ -162,6 +201,7 @@ campaignConfig()
     cfg.injections = envU64("FH_INJECTIONS", 120);
     cfg.window = envU64("FH_WINDOW", 1000);
     cfg.seed = envU64("FH_SEED", 1);
+    cfg.threads = static_cast<unsigned>(envU64("FH_THREADS", 0));
     return cfg;
 }
 

@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "exec/progress.hh"
+#include "exec/thread_pool.hh"
 #include "fault/campaign.hh"
 #include "workload/workload.hh"
 
@@ -21,8 +23,12 @@ using namespace fh;
 int
 main(int argc, char **argv)
 {
+    // usage: fault_injection_campaign [bench] [threads]
+    // (threads: host workers for the campaign forks; also settable
+    //  via FH_THREADS; 0/unset = all hardware threads)
     const char *bench_name = argc > 1 ? argv[1] : "400.perl";
     const char *env = std::getenv("FH_INJECTIONS");
+    const char *env_threads = std::getenv("FH_THREADS");
 
     workload::WorkloadSpec spec;
     spec.maxThreads = 2;
@@ -34,13 +40,24 @@ main(int argc, char **argv)
     fault::CampaignConfig cfg;
     cfg.injections = env ? std::strtoull(env, nullptr, 0) : 200;
     cfg.window = 1000; // paper: 1000-instruction run window
+    cfg.threads = static_cast<unsigned>(
+        env_threads ? std::strtoul(env_threads, nullptr, 0) : 0);
+    if (argc > 2)
+        cfg.threads =
+            static_cast<unsigned>(std::strtoul(argv[2], nullptr, 0));
 
     std::printf("injecting %llu single-bit faults into %s "
-                "(rename 20%% / LSQ 8%% / datapath+RF 72%%)...\n",
+                "(rename 20%% / LSQ 8%% / datapath+RF 72%%) "
+                "on %u worker threads...\n",
                 static_cast<unsigned long long>(cfg.injections),
-                prog.name.c_str());
+                prog.name.c_str(), exec::resolveThreads(cfg.threads));
+
+    exec::ProgressMeter meter(std::string(bench_name) + " campaign",
+                              cfg.injections);
+    cfg.progress = &meter;
 
     auto r = fault::runCampaign(params, &prog, cfg);
+    meter.finish();
 
     auto pct = [&](u64 n, u64 d) {
         return d ? 100.0 * static_cast<double>(n) / d : 0.0;

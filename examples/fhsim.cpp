@@ -21,16 +21,20 @@
  *   campaign       run a fault campaign too       (false)
  *   injections     campaign injections            (300)
  *   window         campaign run window            (1000)
+ *   jobs           host worker threads for the campaign forks;
+ *                  0 = all hardware threads       (0)
  *
  * Example:
  *   fhsim bench=429.mcf scheme=pbfs-biased insts=200000
- *   fhsim bench=apache campaign=true injections=500
+ *   fhsim bench=apache campaign=true injections=500 jobs=8
  */
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "exec/progress.hh"
+#include "exec/thread_pool.hh"
 #include "fault/campaign.hh"
 #include "energy/energy_model.hh"
 #include "pipeline/stats_dump.hh"
@@ -146,10 +150,16 @@ main(int argc, char **argv)
         ccfg.injections = cfg.getU64("injections", 300);
         ccfg.window = cfg.getU64("window", 1000);
         ccfg.seed = cfg.getU64("seed", 1);
+        ccfg.threads =
+            static_cast<unsigned>(cfg.getU64("jobs", 0));
+        exec::ProgressMeter meter("fhsim campaign", ccfg.injections);
+        ccfg.progress = &meter;
         std::fprintf(stderr, "fhsim: running %llu-injection "
-                             "campaign...\n",
-                     static_cast<unsigned long long>(ccfg.injections));
+                             "campaign on %u worker threads...\n",
+                     static_cast<unsigned long long>(ccfg.injections),
+                     exec::resolveThreads(ccfg.threads));
         auto r = fault::runCampaign(params, &prog, ccfg);
+        meter.finish();
         std::printf("%-34s%-16.4f# fraction of injections\n",
                     "campaign.masked", r.maskedFrac());
         std::printf("%-34s%-16.4f# fraction of injections\n",

@@ -1,0 +1,80 @@
+#include "exec/progress.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fh::exec
+{
+
+namespace
+{
+
+unsigned long long
+ull(u64 v)
+{
+    return static_cast<unsigned long long>(v);
+}
+
+} // namespace
+
+ProgressMeter::ProgressMeter(std::string label, u64 total,
+                             u64 interval_ms)
+    : label_(std::move(label)), total_(total), intervalMs_(interval_ms),
+      start_(Clock::now()), nextLogMs_(interval_ms)
+{
+}
+
+u64
+ProgressMeter::elapsedMs() const
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - start_)
+            .count());
+}
+
+void
+ProgressMeter::tick(u64 n)
+{
+    const u64 done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+    const u64 now = elapsedMs();
+    u64 next = nextLogMs_.load(std::memory_order_relaxed);
+    // One thread wins the CAS per interval; the rest only count.
+    if (now < next ||
+        !nextLogMs_.compare_exchange_strong(next, now + intervalMs_))
+        return;
+    report(done, false);
+}
+
+void
+ProgressMeter::finish()
+{
+    report(done(), true);
+}
+
+void
+ProgressMeter::report(u64 done, bool final) const
+{
+    const double secs = std::max(1e-3, elapsedMs() / 1000.0);
+    const double rate = static_cast<double>(done) / secs;
+    if (final) {
+        fh_inform("%s: %llu trials in %.1fs (%.1f trials/s)",
+                  label_.c_str(), ull(done), secs, rate);
+        return;
+    }
+    if (total_ && rate > 0.0) {
+        const u64 left = total_ - std::min(done, total_);
+        fh_inform("%s: %llu/%llu trials (%.1f%%) | %.1f trials/s | "
+                  "ETA %.0fs",
+                  label_.c_str(), ull(done), ull(total_),
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(total_),
+                  rate, static_cast<double>(left) / rate);
+    } else {
+        fh_inform("%s: %llu trials | %.1f trials/s", label_.c_str(),
+                  ull(done), rate);
+    }
+}
+
+} // namespace fh::exec

@@ -1,0 +1,133 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace fh::exec
+{
+
+unsigned
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    return requested ? requested : hardwareThreads();
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : nthreads_(std::max(1u, resolveThreads(threads)))
+{
+    workers_.reserve(nthreads_ - 1);
+    for (unsigned i = 1; i < nthreads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        const u64 begin =
+            job.next.fetch_add(job.grain, std::memory_order_relaxed);
+        if (begin >= job.n)
+            return;
+        const u64 end = std::min(job.n, begin + job.grain);
+        try {
+            for (u64 i = begin; i < end; ++i)
+                (*job.body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        if (job.done.fetch_add(end - begin) + (end - begin) >= job.n) {
+            // Last chunk: wake the caller blocked in parallelFor.
+            std::lock_guard<std::mutex> lock(mutex_);
+            idle_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    u64 seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock,
+                   [&] { return stop_ || (job_ && generation_ != seen); });
+        if (stop_)
+            return;
+        seen = generation_;
+        Job &job = *job_;
+        ++busy_;
+        lock.unlock();
+        runChunks(job);
+        lock.lock();
+        if (--busy_ == 0)
+            idle_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(u64 n, u64 grain,
+                        const std::function<void(u64)> &body)
+{
+    if (n == 0)
+        return;
+    grain = std::max<u64>(1, grain);
+    if (nthreads_ == 1 || n == 1) {
+        for (u64 i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    Job job;
+    job.n = n;
+    job.grain = grain;
+    job.body = &body;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    runChunks(job); // the caller is a worker too
+
+    // job lives on this stack frame: wait until every index ran AND
+    // every worker has stepped out of runChunks before retiring it.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [&] {
+            return job.done.load() >= job.n && busy_ == 0;
+        });
+        job_ = nullptr;
+    }
+
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+void
+parallelFor(unsigned threads, u64 n, const std::function<void(u64)> &body)
+{
+    ThreadPool pool(threads);
+    pool.parallelFor(n, body);
+}
+
+} // namespace fh::exec

@@ -1,5 +1,11 @@
 #include "fault/campaign.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "exec/progress.hh"
+#include "exec/thread_pool.hh"
 #include "sim/logging.hh"
 
 namespace fh::fault
@@ -19,13 +25,111 @@ struct DetectorDelta
 };
 
 DetectorDelta
-deltaOf(const pipeline::Core &fork, const pipeline::Core &master)
+deltaOf(const pipeline::Core &fork, const filters::DetectorStats &m)
 {
     const auto &f = fork.detector().stats();
-    const auto &m = master.detector().stats();
     return {f.triggers - m.triggers, f.suppressed - m.suppressed,
             f.replays - m.replays, f.rollbacks - m.rollbacks,
             f.commitTriggers - m.commitTriggers};
+}
+
+/**
+ * Everything a worker needs to execute one injection trial without
+ * touching the (still advancing) master: a full machine snapshot at
+ * the injection point, the drawn plan, the per-SMT-thread commit
+ * targets, and the master-side state the classifier compares against.
+ */
+struct Trial
+{
+    pipeline::Core master;
+    InjectionPlan plan;
+    std::vector<u64> targets;
+    pipeline::PregPhase phase;
+    filters::DetectorStats masterStats;
+};
+
+/**
+ * Run the 2–3 forks of one trial and classify the outcome. Pure
+ * function of the descriptor: safe on any worker thread, and the
+ * returned single-trial counters merge into CampaignResult with
+ * order-insensitive adds.
+ */
+CampaignResult
+runTrial(const pipeline::CoreParams &params, const CampaignConfig &cfg,
+         const Trial &t)
+{
+    CampaignResult r;
+    ++r.injected;
+
+    // Golden fork: no fault, detector checks off (architecturally
+    // identical to a protected run; faster).
+    ForkOutcome golden =
+        runFork(t.master, nullptr, false, t.targets, cfg.forkMaxCycles);
+
+    // Unprotected faulty fork: classifies the fault itself.
+    ForkOutcome bare =
+        runFork(t.master, &t.plan, false, t.targets, cfg.forkMaxCycles);
+
+    const bool noisy =
+        bare.trapped != golden.trapped || !bare.reachedTargets;
+    if (noisy) {
+        ++r.noisy;
+        return r;
+    }
+    if (archEquals(bare.core, golden.core)) {
+        ++r.masked;
+        return r;
+    }
+    ++r.sdc;
+
+    if (params.detector.scheme == filters::Scheme::None) {
+        ++r.uncovered;
+        ++r.bins.other;
+        return r;
+    }
+
+    // Protected faulty fork: does the scheme cover the fault?
+    ForkOutcome prot =
+        runFork(t.master, &t.plan, true, t.targets, cfg.forkMaxCycles);
+
+    const bool det = prot.core.faultDetected() ||
+                     (prot.trapped && !golden.trapped);
+    const bool recov = prot.reachedTargets && !prot.trapped &&
+                       archEquals(prot.core, golden.core);
+
+    if (recov && !det) {
+        ++r.recovered;
+        ++r.bins.covered;
+        return r;
+    }
+    if (det) {
+        ++r.detected;
+        ++r.bins.covered;
+        return r;
+    }
+    ++r.uncovered;
+
+    // Figure 11 binning for the uncovered fault.
+    if (t.plan.target == Target::Rename) {
+        ++r.bins.renameUncovered;
+        return r;
+    }
+    DetectorDelta d = deltaOf(prot.core, t.masterStats);
+    if (d.triggers == 0) {
+        ++r.bins.noTrigger;
+    } else if (d.suppressed > 0 && d.replays == 0 && d.rollbacks == 0 &&
+               d.commitTriggers == 0) {
+        ++r.bins.secondLevelMasked;
+    } else if (t.plan.target == Target::RegFile &&
+               (t.phase == pipeline::PregPhase::Completed ||
+                t.phase == pipeline::PregPhase::Architectural)) {
+        ++r.bins.completedReg;
+        if (t.phase == pipeline::PregPhase::Architectural)
+            ++r.bins.archReg;
+    } else {
+        ++r.bins.other;
+    }
+    return r;
 }
 
 } // namespace
@@ -35,7 +139,7 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
             const CampaignConfig &cfg)
 {
     pipeline::Core master(params, prog);
-    Rng rng(cfg.seed);
+    Rng gapRng(cfg.seed);
     CampaignResult result;
 
     // Warm up caches, predictors and filters.
@@ -48,92 +152,55 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
                  "increase its iteration count",
                  prog->name.c_str());
 
-    for (u64 i = 0; i < cfg.injections; ++i) {
-        // Advance the master to the next injection point.
-        const Cycle gap = rng.range(cfg.minGap, cfg.maxGap);
-        for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
-            master.tick();
-        if (master.allHalted())
-            break;
+    const unsigned threads = exec::resolveThreads(cfg.threads);
+    exec::ThreadPool pool(threads);
+    // Trials are produced serially (the master must advance in order)
+    // and executed in batches. The batch size bounds how many master
+    // snapshots — each a full machine copy — are live at once, while
+    // keeping every worker fed with a few trials.
+    const u64 batch_cap = std::max<u64>(u64{threads} * 4, 8);
 
-        const InjectionPlan plan = drawPlan(master, cfg.mix, rng);
-        const auto targets = windowTargets(master, cfg.window);
+    std::vector<Trial> batch;
+    std::vector<CampaignResult> partial;
+    u64 trial = 0;
+    bool halted = false;
+    while (trial < cfg.injections && !halted) {
+        batch.clear();
+        while (batch.size() < batch_cap && trial < cfg.injections) {
+            // Advance the master to the next injection point.
+            const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
+            for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
+                master.tick();
+            if (master.allHalted()) {
+                halted = true;
+                break;
+            }
 
-        // Record register lifetime phase before any fork runs.
-        pipeline::PregPhase phase = pipeline::PregPhase::Free;
-        if (plan.target == Target::RegFile)
-            phase = master.pregPhase(plan.preg);
+            // The plan comes from the trial's own stream, so the
+            // injection schedule is a pure function of (seed, trial)
+            // regardless of how many workers execute the forks.
+            Rng trialRng = Rng::stream(cfg.seed, trial);
+            const InjectionPlan plan = drawPlan(master, cfg.mix, trialRng);
 
-        ++result.injected;
+            // Record register lifetime phase before any fork runs.
+            pipeline::PregPhase phase = pipeline::PregPhase::Free;
+            if (plan.target == Target::RegFile)
+                phase = master.pregPhase(plan.preg);
 
-        // Golden fork: no fault, detector checks off (architecturally
-        // identical to a protected run; faster).
-        ForkOutcome golden =
-            runFork(master, nullptr, false, targets, cfg.forkMaxCycles);
-
-        // Unprotected faulty fork: classifies the fault itself.
-        ForkOutcome bare =
-            runFork(master, &plan, false, targets, cfg.forkMaxCycles);
-
-        const bool noisy = bare.trapped != golden.trapped ||
-                           !bare.reachedTargets;
-        if (noisy) {
-            ++result.noisy;
-            continue;
-        }
-        if (archEquals(bare.core, golden.core)) {
-            ++result.masked;
-            continue;
-        }
-        ++result.sdc;
-
-        if (params.detector.scheme == filters::Scheme::None) {
-            ++result.uncovered;
-            ++result.bins.other;
-            continue;
+            batch.push_back(Trial{master, plan,
+                                  windowTargets(master, cfg.window),
+                                  phase, master.detector().stats()});
+            ++trial;
         }
 
-        // Protected faulty fork: does the scheme cover the fault?
-        ForkOutcome prot =
-            runFork(master, &plan, true, targets, cfg.forkMaxCycles);
-
-        const bool det = prot.core.faultDetected() ||
-                         (prot.trapped && !golden.trapped);
-        const bool recov = prot.reachedTargets && !prot.trapped &&
-                           archEquals(prot.core, golden.core);
-
-        if (recov && !det) {
-            ++result.recovered;
-            ++result.bins.covered;
-            continue;
-        }
-        if (det) {
-            ++result.detected;
-            ++result.bins.covered;
-            continue;
-        }
-        ++result.uncovered;
-
-        // Figure 11 binning for the uncovered fault.
-        if (plan.target == Target::Rename) {
-            ++result.bins.renameUncovered;
-            continue;
-        }
-        DetectorDelta d = deltaOf(prot.core, master);
-        if (d.triggers == 0) {
-            ++result.bins.noTrigger;
-        } else if (d.suppressed > 0 && d.replays == 0 &&
-                   d.rollbacks == 0 && d.commitTriggers == 0) {
-            ++result.bins.secondLevelMasked;
-        } else if (plan.target == Target::RegFile &&
-                   (phase == pipeline::PregPhase::Completed ||
-                    phase == pipeline::PregPhase::Architectural)) {
-            ++result.bins.completedReg;
-            if (phase == pipeline::PregPhase::Architectural)
-                ++result.bins.archReg;
-        } else {
-            ++result.bins.other;
-        }
+        partial.assign(batch.size(), CampaignResult{});
+        pool.parallelFor(batch.size(), [&](u64 k) {
+            partial[k] = runTrial(params, cfg, batch[k]);
+            if (cfg.progress)
+                cfg.progress->tick();
+        });
+        for (const CampaignResult &p : partial)
+            result += p;
     }
 
     return result;

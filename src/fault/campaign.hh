@@ -7,6 +7,13 @@
  * faults — a protected faulty copy whose outcome decides coverage.
  * The campaign also bins uncovered SDC faults into the Figure 11
  * categories.
+ *
+ * Execution is sharded: the master advances serially between
+ * injection points (cheap), each point is snapshotted into a trial
+ * descriptor with its own Rng::stream(seed, trial_index), and an
+ * exec::ThreadPool runs the trials' forks concurrently. Per-trial
+ * results reduce into CampaignResult in trial order, so the outcome
+ * is bit-identical for 1 and N worker threads.
  */
 
 #ifndef FH_FAULT_CAMPAIGN_HH
@@ -18,13 +25,23 @@
 #include "pipeline/core.hh"
 #include "sim/rng.hh"
 
+namespace fh::exec
+{
+class ProgressMeter;
+} // namespace fh::exec
+
 namespace fh::fault
 {
 
 struct CampaignConfig
 {
     u64 injections = 300;
-    /** Run window per thread after injection (instructions). */
+    /**
+     * Run window after injection: instructions each of the core's SMT
+     * hardware threads (execution contexts) must commit before the
+     * forks are compared. Unrelated to the host worker threads that
+     * execute trials — see `threads` below.
+     */
     u64 window = 1000;
     /** Master warmup before the first injection (instructions). */
     u64 warmupInsts = 20000;
@@ -35,6 +52,20 @@ struct CampaignConfig
     Cycle forkMaxCycles = 400000;
     u64 seed = 1;
     InjectionMix mix{};
+
+    /**
+     * Host worker threads executing the per-trial forks (golden /
+     * bare / protected), i.e. the exec::ThreadPool size; 0 = one per
+     * hardware thread (the default), 1 = fully serial. Also settable
+     * via the FH_THREADS environment variable in the bench harnesses.
+     * The result is bit-identical for every value: each trial draws
+     * from its own Rng::stream(seed, trial_index) and per-trial
+     * results reduce in trial order. Distinct from the simulated
+     * core's SMT threads (see `window`).
+     */
+    unsigned threads = 0;
+    /** Optional meter ticked once per completed trial (may be null). */
+    exec::ProgressMeter *progress = nullptr;
 };
 
 /** Figure 11 bins for SDC faults. */
@@ -48,6 +79,18 @@ struct SdcBins
     u64 renameUncovered = 0;   ///< uncovered rename-table fault
     u64 noTrigger = 0;         ///< the fault never tripped a filter
     u64 other = 0;
+
+    SdcBins &operator+=(const SdcBins &o)
+    {
+        covered += o.covered;
+        secondLevelMasked += o.secondLevelMasked;
+        completedReg += o.completedReg;
+        archReg += o.archReg;
+        renameUncovered += o.renameUncovered;
+        noTrigger += o.noTrigger;
+        other += o.other;
+        return *this;
+    }
 };
 
 struct CampaignResult
@@ -79,6 +122,20 @@ struct CampaignResult
     double sdcFrac() const
     {
         return injected ? static_cast<double>(sdc) / injected : 0.0;
+    }
+
+    /** Merge another shard's counters (u64 adds, order-insensitive). */
+    CampaignResult &operator+=(const CampaignResult &o)
+    {
+        injected += o.injected;
+        masked += o.masked;
+        noisy += o.noisy;
+        sdc += o.sdc;
+        recovered += o.recovered;
+        detected += o.detected;
+        uncovered += o.uncovered;
+        bins += o.bins;
+        return *this;
     }
 };
 

@@ -94,4 +94,15 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+Rng
+Rng::stream(u64 seed, u64 index)
+{
+    // Whiten the seed, fold the stream index in, whiten again; the
+    // Rng constructor then runs four more splitmix64 rounds, so even
+    // adjacent (seed, index) pairs land in unrelated states.
+    u64 x = seed;
+    x = splitmix64(x) ^ index;
+    return Rng(splitmix64(x));
+}
+
 } // namespace fh

@@ -51,6 +51,16 @@ class Rng
     /** Derive an independent child stream (seed mixing). */
     Rng fork();
 
+    /**
+     * Derive the index-th independent stream of a base seed via two
+     * splitmix64 mixing rounds. Unlike fork(), this does not touch any
+     * generator state, so stream(seed, i) is a pure function of its
+     * arguments — campaign trial i draws from stream(cfg.seed, i) no
+     * matter which worker thread executes it. Adjacent indices give
+     * statistically uncorrelated streams (tests/test_rng.cc).
+     */
+    static Rng stream(u64 seed, u64 index);
+
     bool operator==(const Rng &other) const = default;
 
   private:

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The exec runtime and its determinism contract: parallelFor covers
+ * every index exactly once under concurrency, exceptions propagate,
+ * the progress meter counts concurrent ticks, and — the property the
+ * whole subsystem exists for — runCampaign produces bit-identical
+ * CampaignResults no matter how many worker threads execute it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/progress.hh"
+#include "exec/thread_pool.hh"
+#include "fault/campaign.hh"
+#include "workload/workload.hh"
+
+using namespace fh;
+
+namespace
+{
+
+isa::Program
+prog(const std::string &name = "ocean")
+{
+    workload::WorkloadSpec spec;
+    spec.maxThreads = 2;
+    spec.footprintDivider = 64;
+    return workload::build(name, spec);
+}
+
+pipeline::CoreParams
+fhParams()
+{
+    pipeline::CoreParams p;
+    p.detector = filters::DetectorParams::faultHound();
+    return p;
+}
+
+void
+expectIdentical(const fault::CampaignResult &a,
+                const fault::CampaignResult &b)
+{
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.noisy, b.noisy);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.uncovered, b.uncovered);
+    EXPECT_EQ(a.bins.covered, b.bins.covered);
+    EXPECT_EQ(a.bins.secondLevelMasked, b.bins.secondLevelMasked);
+    EXPECT_EQ(a.bins.completedReg, b.bins.completedReg);
+    EXPECT_EQ(a.bins.archReg, b.bins.archReg);
+    EXPECT_EQ(a.bins.renameUncovered, b.bins.renameUncovered);
+    EXPECT_EQ(a.bins.noTrigger, b.bins.noTrigger);
+    EXPECT_EQ(a.bins.other, b.bins.other);
+}
+
+} // namespace
+
+TEST(ThreadPool, ResolveThreadsNeverZero)
+{
+    EXPECT_GE(exec::hardwareThreads(), 1u);
+    EXPECT_GE(exec::resolveThreads(0), 1u);
+    EXPECT_EQ(exec::resolveThreads(3), 3u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    exec::ThreadPool pool(4);
+    const u64 n = 10007; // prime, so no grain divides it evenly
+    std::vector<std::atomic<unsigned>> hits(n);
+    for (u64 grain : {u64{1}, u64{3}, u64{64}, u64{20000}}) {
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(n, grain, [&](u64 i) { hits[i].fetch_add(1); });
+        for (u64 i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1u)
+                << "index " << i << " grain " << grain;
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossManySmallLoops)
+{
+    exec::ThreadPool pool(3);
+    std::atomic<u64> sum{0};
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(10, [&](u64 i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 50u * 55u);
+}
+
+TEST(ThreadPool, EmptyAndSingletonLoops)
+{
+    exec::ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](u64) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](u64 i) { calls += static_cast<int>(i) + 1; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInOrder)
+{
+    exec::ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<u64> order;
+    pool.parallelFor(100, [&](u64 i) { order.push_back(i); });
+    std::vector<u64> want(100);
+    std::iota(want.begin(), want.end(), 0);
+    EXPECT_EQ(order, want);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    exec::ThreadPool pool(4);
+    std::atomic<u64> ran{0};
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](u64 i) {
+                                      ran.fetch_add(1);
+                                      if (i == 13)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The remaining chunks still complete before the rethrow.
+    EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(ThreadPool, OneShotHelper)
+{
+    std::atomic<u64> sum{0};
+    exec::parallelFor(4, 1000, [&](u64 i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+}
+
+TEST(ProgressMeter, CountsConcurrentTicks)
+{
+    exec::ProgressMeter meter("test", 5000, /*interval_ms=*/1u << 30);
+    exec::ThreadPool pool(4);
+    pool.parallelFor(5000, [&](u64) { meter.tick(); });
+    EXPECT_EQ(meter.done(), 5000u);
+    EXPECT_EQ(meter.total(), 5000u);
+    meter.finish();
+}
+
+TEST(CampaignParallel, BitIdenticalFor1And4Threads)
+{
+    auto program = prog();
+    fault::CampaignConfig cfg;
+    cfg.injections = 24;
+    cfg.window = 300;
+    cfg.seed = 77;
+
+    cfg.threads = 1;
+    auto serial = fault::runCampaign(fhParams(), &program, cfg);
+    EXPECT_EQ(serial.injected, 24u);
+
+    cfg.threads = 4;
+    auto parallel = fault::runCampaign(fhParams(), &program, cfg);
+    expectIdentical(serial, parallel);
+}
+
+TEST(CampaignParallel, BitIdenticalWithoutDetector)
+{
+    // The scheme=None early-out path shards identically too.
+    auto program = prog();
+    fault::CampaignConfig cfg;
+    cfg.injections = 16;
+    cfg.window = 300;
+    cfg.seed = 5;
+    pipeline::CoreParams p;
+    p.detector = filters::DetectorParams::none();
+
+    cfg.threads = 1;
+    auto serial = fault::runCampaign(p, &program, cfg);
+    cfg.threads = 3;
+    auto parallel = fault::runCampaign(p, &program, cfg);
+    expectIdentical(serial, parallel);
+}
+
+TEST(CampaignParallel, EnvThreadsMatchesSerial)
+{
+    // CI runs this binary under FH_THREADS=1 and FH_THREADS=4; the
+    // campaign must agree with the serial reference either way.
+    const char *env = std::getenv("FH_THREADS");
+    const unsigned env_threads = static_cast<unsigned>(
+        env ? std::strtoul(env, nullptr, 0) : 0);
+
+    auto program = prog();
+    fault::CampaignConfig cfg;
+    cfg.injections = 16;
+    cfg.window = 300;
+    cfg.seed = 123;
+
+    cfg.threads = 1;
+    auto serial = fault::runCampaign(fhParams(), &program, cfg);
+    cfg.threads = env_threads;
+    auto parallel = fault::runCampaign(fhParams(), &program, cfg);
+    expectIdentical(serial, parallel);
+}
+
+TEST(CampaignParallel, ProgressTicksOncePerTrial)
+{
+    auto program = prog();
+    fault::CampaignConfig cfg;
+    cfg.injections = 12;
+    cfg.window = 300;
+    cfg.threads = 4;
+    exec::ProgressMeter meter("campaign", cfg.injections,
+                              /*interval_ms=*/1u << 30);
+    cfg.progress = &meter;
+    auto r = fault::runCampaign(fhParams(), &program, cfg);
+    EXPECT_EQ(meter.done(), r.injected);
+}

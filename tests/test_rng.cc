@@ -111,6 +111,66 @@ TEST(Rng, ForkedStreamsAreIndependent)
     EXPECT_LT(same, 3);
 }
 
+TEST(Rng, StreamIsPureFunctionOfSeedAndIndex)
+{
+    Rng a = Rng::stream(42, 7);
+    Rng b = Rng::stream(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, AdjacentStreamIndicesDoNotCorrelate)
+{
+    // The campaign derives trial i's stream as stream(seed, i), so
+    // neighboring trials must behave like independent generators
+    // (same criterion as ForkedStreamsAreIndependent).
+    for (u64 t = 0; t < 32; ++t) {
+        Rng a = Rng::stream(1, t);
+        Rng b = Rng::stream(1, t + 1);
+        int same = 0;
+        for (int i = 0; i < 100; ++i)
+            same += a.next() == b.next() ? 1 : 0;
+        EXPECT_LT(same, 3) << "streams " << t << " and " << t + 1;
+    }
+}
+
+TEST(Rng, StreamsWithDifferentSeedsDiverge)
+{
+    Rng a = Rng::stream(1, 5);
+    Rng b = Rng::stream(2, 5);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamFirstDrawsLookBalanced)
+{
+    // Cross-stream balance: the first draw of stream i, over many i,
+    // must satisfy the same per-bit criterion as one stream's output
+    // (mirrors BitsLookBalanced).
+    int ones[64] = {};
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        u64 v = Rng::stream(31, static_cast<u64>(i)).next();
+        for (int b = 0; b < 64; ++b)
+            ones[b] += (v >> b) & 1;
+    }
+    for (int b = 0; b < 64; ++b)
+        EXPECT_NEAR(static_cast<double>(ones[b]) / n, 0.5, 0.06)
+            << "bit " << b;
+}
+
+TEST(Rng, StreamFirstUniformsAverageHalf)
+{
+    // Mirrors UniformInUnitInterval, but sampling across streams.
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += Rng::stream(13, static_cast<u64>(i)).uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
 TEST(Rng, CopyablePreservesState)
 {
     Rng a(29);
