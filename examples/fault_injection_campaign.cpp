@@ -10,8 +10,10 @@
  *   fault::runCampaign          -> the full masked/noisy/SDC pipeline
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "exec/progress.hh"
 #include "exec/thread_pool.hh"
@@ -19,6 +21,65 @@
 #include "workload/workload.hh"
 
 using namespace fh;
+
+namespace
+{
+
+/**
+ * Machine-readable result record (FH_JSON=<path>, or "-" for stdout):
+ * the campaign configuration, the classification counts, and the
+ * throughput headline, in the same shape as BENCH_filters.json so CI
+ * and scripts can diff runs against the committed baseline.
+ */
+void
+writeJson(const char *path, const char *bench, unsigned workers,
+          const fault::CampaignConfig &cfg, const fault::CampaignResult &r,
+          double seconds)
+{
+    std::FILE *out = std::strcmp(path, "-") == 0 ? stdout
+                                                 : std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write FH_JSON file %s\n", path);
+        return;
+    }
+    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"%s\",\n", bench);
+    std::fprintf(out, "  \"seed\": %llu,\n", u(cfg.seed));
+    std::fprintf(out, "  \"injections\": %llu,\n", u(cfg.injections));
+    std::fprintf(out, "  \"window\": %llu,\n", u(cfg.window));
+    std::fprintf(out, "  \"worker_threads\": %u,\n", workers);
+    std::fprintf(out, "  \"elapsed_seconds\": %.3f,\n", seconds);
+    std::fprintf(out, "  \"trials_per_second\": %.1f,\n",
+                 seconds > 0 ? static_cast<double>(r.injected) / seconds
+                             : 0.0);
+    std::fprintf(out, "  \"classification\": {\n");
+    std::fprintf(out, "    \"injected\": %llu,\n", u(r.injected));
+    std::fprintf(out, "    \"masked\": %llu,\n", u(r.masked));
+    std::fprintf(out, "    \"noisy\": %llu,\n", u(r.noisy));
+    std::fprintf(out, "    \"sdc\": %llu,\n", u(r.sdc));
+    std::fprintf(out, "    \"recovered\": %llu,\n", u(r.recovered));
+    std::fprintf(out, "    \"detected\": %llu,\n", u(r.detected));
+    std::fprintf(out, "    \"uncovered\": %llu\n", u(r.uncovered));
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"bins\": {\n");
+    std::fprintf(out, "    \"covered\": %llu,\n", u(r.bins.covered));
+    std::fprintf(out, "    \"second_level_masked\": %llu,\n",
+                 u(r.bins.secondLevelMasked));
+    std::fprintf(out, "    \"completed_reg\": %llu,\n",
+                 u(r.bins.completedReg));
+    std::fprintf(out, "    \"arch_reg\": %llu,\n", u(r.bins.archReg));
+    std::fprintf(out, "    \"rename_uncovered\": %llu,\n",
+                 u(r.bins.renameUncovered));
+    std::fprintf(out, "    \"no_trigger\": %llu,\n", u(r.bins.noTrigger));
+    std::fprintf(out, "    \"other\": %llu\n", u(r.bins.other));
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+    if (out != stdout)
+        std::fclose(out);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -29,6 +90,7 @@ main(int argc, char **argv)
     const char *bench_name = argc > 1 ? argv[1] : "400.perl";
     const char *env = std::getenv("FH_INJECTIONS");
     const char *env_threads = std::getenv("FH_THREADS");
+    const char *env_json = std::getenv("FH_JSON");
 
     workload::WorkloadSpec spec;
     spec.maxThreads = 2;
@@ -56,8 +118,18 @@ main(int argc, char **argv)
                               cfg.injections);
     cfg.progress = &meter;
 
+    const auto t0 = std::chrono::steady_clock::now();
     auto r = fault::runCampaign(params, &prog, cfg);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
     meter.finish();
+
+    if (env_json) {
+        writeJson(env_json, bench_name, exec::resolveThreads(cfg.threads),
+                  cfg, r, seconds);
+    }
 
     auto pct = [&](u64 n, u64 d) {
         return d ? 100.0 * static_cast<double>(n) / d : 0.0;

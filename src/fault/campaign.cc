@@ -49,14 +49,16 @@ struct Trial
 };
 
 /**
- * Run the 2–3 forks of one trial and classify the outcome. Pure
- * function of the descriptor: safe on any worker thread, and the
- * returned single-trial counters merge into CampaignResult with
- * order-insensitive adds.
+ * Run the 2–3 forks of one trial and classify the outcome. A pure
+ * function of the descriptor (safe on any worker thread; the returned
+ * single-trial counters merge into CampaignResult with
+ * order-insensitive adds), except that the last fork consumes
+ * t.master by move — the caller's batch slot is dead after this and
+ * gets overwritten by the next batch.
  */
 CampaignResult
 runTrial(const pipeline::CoreParams &params, const CampaignConfig &cfg,
-         const Trial &t)
+         Trial &t)
 {
     CampaignResult r;
     ++r.injected;
@@ -88,9 +90,10 @@ runTrial(const pipeline::CoreParams &params, const CampaignConfig &cfg,
         return r;
     }
 
-    // Protected faulty fork: does the scheme cover the fault?
-    ForkOutcome prot =
-        runFork(t.master, &t.plan, true, t.targets, cfg.forkMaxCycles);
+    // Protected faulty fork: does the scheme cover the fault? This is
+    // the trial's last fork, so it takes the snapshot by move.
+    ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
+                               t.targets, cfg.forkMaxCycles);
 
     const bool det = prot.core.faultDetected() ||
                      (prot.trapped && !golden.trapped);
@@ -160,13 +163,19 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
     // keeping every worker fed with a few trials.
     const u64 batch_cap = std::max<u64>(u64{threads} * 4, 8);
 
+    // One fixed-size batch of trial slots, allocated once and reused
+    // across batches: a slot's snapshot is overwritten in place (COW
+    // memory makes both the snapshot and the overwrite cheap), so the
+    // campaign keeps at most batch_cap machine copies live with no
+    // per-batch reallocation churn.
     std::vector<Trial> batch;
-    std::vector<CampaignResult> partial;
+    batch.reserve(batch_cap);
+    std::vector<CampaignResult> partial(batch_cap);
     u64 trial = 0;
     bool halted = false;
     while (trial < cfg.injections && !halted) {
-        batch.clear();
-        while (batch.size() < batch_cap && trial < cfg.injections) {
+        u64 filled = 0;
+        while (filled < batch_cap && trial < cfg.injections) {
             // Advance the master to the next injection point.
             const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
             for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
@@ -187,20 +196,23 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
             if (plan.target == Target::RegFile)
                 phase = master.pregPhase(plan.preg);
 
-            batch.push_back(Trial{master, plan,
-                                  windowTargets(master, cfg.window),
-                                  phase, master.detector().stats()});
+            Trial t{master, plan, windowTargets(master, cfg.window),
+                    phase, master.detector().stats()};
+            if (filled < batch.size())
+                batch[filled] = std::move(t);
+            else
+                batch.push_back(std::move(t));
+            ++filled;
             ++trial;
         }
 
-        partial.assign(batch.size(), CampaignResult{});
-        pool.parallelFor(batch.size(), [&](u64 k) {
+        pool.parallelFor(filled, [&](u64 k) {
             partial[k] = runTrial(params, cfg, batch[k]);
             if (cfg.progress)
                 cfg.progress->tick();
         });
-        for (const CampaignResult &p : partial)
-            result += p;
+        for (u64 k = 0; k < filled; ++k)
+            result += partial[k];
     }
 
     return result;

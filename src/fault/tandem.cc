@@ -1,5 +1,7 @@
 #include "fault/tandem.hh"
 
+#include <utility>
+
 namespace fh::fault
 {
 
@@ -17,7 +19,16 @@ runFork(const pipeline::Core &base, const InjectionPlan *plan,
         bool detector_enabled, const std::vector<u64> &targets,
         Cycle max_cycles)
 {
-    ForkOutcome out{base, false, false};
+    return runFork(pipeline::Core(base), plan, detector_enabled, targets,
+                   max_cycles);
+}
+
+ForkOutcome
+runFork(pipeline::Core &&base, const InjectionPlan *plan,
+        bool detector_enabled, const std::vector<u64> &targets,
+        Cycle max_cycles)
+{
+    ForkOutcome out{std::move(base), false, false};
     out.core.setDetectorEnabled(detector_enabled);
     // Freeze each thread at exactly its commit target so both tandem
     // copies sample architectural state at the same per-thread point.

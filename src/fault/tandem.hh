@@ -39,6 +39,15 @@ ForkOutcome runFork(const pipeline::Core &base, const InjectionPlan *plan,
                     Cycle max_cycles);
 
 /**
+ * As above, but consume base instead of copying it: the last fork of
+ * a trial can take the snapshot by move, saving one whole-machine
+ * copy per trial.
+ */
+ForkOutcome runFork(pipeline::Core &&base, const InjectionPlan *plan,
+                    bool detector_enabled, const std::vector<u64> &targets,
+                    Cycle max_cycles);
+
+/**
  * Architectural equivalence: per-thread registers, commit PCs, halt
  * flags, and full memory contents.
  */

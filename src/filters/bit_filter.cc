@@ -1,25 +1,29 @@
 #include "filters/bit_filter.hh"
 
-#include <algorithm>
 #include <bit>
+
+#include "sim/logging.hh"
 
 namespace fh::filters
 {
 
-BitFilter::BitFilter(CounterConfig cfg) : cfg_(cfg) {}
+BitFilter::BitFilter(CounterConfig cfg)
+    : cfg_(cfg), numPlanes_(static_cast<u8>(std::bit_width(cfg.maxCount)))
+{
+    fh_assert(cfg_.maxCount > 0, "counter depth must be at least 1");
+    fh_assert(numPlanes_ <= maxPlanes, "counter depth beyond plane budget");
+    fh_assert(cfg_.maxCount == (1u << numPlanes_) - 1,
+              "bit-plane counters need a 2^P - 1 depth");
+    fh_assert(cfg_.jump >= 1 && cfg_.jump <= cfg_.maxCount,
+              "counter jump outside [1, maxCount]");
+}
 
 void
 BitFilter::install(u64 value)
 {
     prev_ = value;
     unchangingMask_ = ~0ULL;
-    counts_.fill(0);
-}
-
-unsigned
-BitFilter::mismatchCount(u64 value) const
-{
-    return static_cast<unsigned>(std::popcount(mismatchMask(value)));
+    planes_ = {};
 }
 
 u64
@@ -27,39 +31,52 @@ BitFilter::observe(u64 value)
 {
     const u64 changed = prev_ ^ value;
     const u64 alarm = changed & unchangingMask_;
+    prev_ = value;
 
-    u64 mask = 0;
-    for (unsigned bit = 0; bit < wordBits; ++bit) {
-        u8 &count = counts_[bit];
-        const bool bit_changed = (changed >> bit) & 1;
-        switch (cfg_.kind) {
-          case CounterKind::Sticky:
-            if (bit_changed)
-                count = 1;
-            break;
-          case CounterKind::Standard:
-          case CounterKind::Biased:
-            if (bit_changed) {
-                count = std::min<u8>(
-                    static_cast<u8>(count + cfg_.jump), cfg_.maxCount);
-            } else if (count > 0) {
-                --count;
-            }
-            break;
-        }
-        if (count == 0)
-            mask |= 1ULL << bit;
+    if (cfg_.kind == CounterKind::Sticky) {
+        // One plane; a change saturates the lane until a flash clear.
+        planes_[0] |= changed;
+        unchangingMask_ = ~planes_[0];
+        return alarm;
     }
 
-    unchangingMask_ = mask;
-    prev_ = value;
+    // Standard/Biased: count = min(count + jump, maxCount) on changed
+    // lanes, count = max(count - 1, 0) on the rest — all 64 lanes at
+    // once. The add is a ripple-carry sum of the jump constant over
+    // the changed lanes (carry stays inside those lanes); because
+    // maxCount is all-ones, lanes that carry out of the top plane are
+    // exactly the ones to saturate. The decrement is a borrow chain
+    // over the unchanged lanes whose counter is nonzero (nonzero =
+    // ~unchangingMask_), and such a borrow always terminates within
+    // the planes.
+    u64 carry = 0;
+    u64 borrow = ~changed & ~unchangingMask_;
+    u64 nonzero = 0;
+    const unsigned planes = numPlanes_;
+    for (unsigned p = 0; p < planes; ++p) {
+        const u64 add = ((cfg_.jump >> p) & 1) ? changed : 0;
+        const u64 a = planes_[p];
+        u64 s = a ^ add ^ carry;
+        carry = (a & add) | (a & carry) | (add & carry);
+        s ^= borrow;
+        borrow &= ~a;
+        planes_[p] = s;
+        nonzero |= s;
+    }
+    if (carry) {
+        // Saturate overflowed lanes at maxCount (all planes set).
+        for (unsigned p = 0; p < planes; ++p)
+            planes_[p] |= carry;
+        nonzero |= carry;
+    }
+    unchangingMask_ = ~nonzero;
     return alarm;
 }
 
 void
 BitFilter::clear()
 {
-    counts_.fill(0);
+    planes_ = {};
     unchangingMask_ = ~0ULL;
 }
 

@@ -8,12 +8,20 @@
  * serves PBFS (one-bit sticky), PBFS-biased and FaultHound's TCAM
  * entries (biased two-bit), and the state-machine-depth ablation
  * (three-bit biased, Section 3).
+ *
+ * The 64 counters are stored bit-sliced: plane p holds bit p of every
+ * bit position's counter, so a filter of depth maxCount = 2^P - 1
+ * needs P words instead of 64 count bytes, and observe() updates all
+ * 64 counters with a handful of word-wide boolean ops (ripple-carry
+ * saturating add on changed lanes, borrow-chain decrement on unchanged
+ * ones). See DESIGN.md "Bit-sliced counter planes".
  */
 
 #ifndef FH_FILTERS_BIT_FILTER_HH
 #define FH_FILTERS_BIT_FILTER_HH
 
 #include <array>
+#include <bit>
 
 #include "sim/types.hh"
 
@@ -33,7 +41,8 @@ struct CounterConfig
 {
     CounterKind kind = CounterKind::Biased;
     /** Deepest changing state (1 for sticky, 3 for two-bit machines,
-     *  7 for the three-bit ablation). */
+     *  7 for the three-bit ablation). Must be 2^P - 1 so the planes
+     *  saturate on carry-out. */
     u8 maxCount = 3;
     /** How far from "unchanging" a change throws the counter. A jump
      *  of 2 realizes the two-consecutive-no-changes bias. */
@@ -59,6 +68,9 @@ struct CounterConfig
 class BitFilter
 {
   public:
+    /** Deepest supported counter: maxCount <= 2^maxPlanes - 1. */
+    static constexpr unsigned maxPlanes = 3;
+
     explicit BitFilter(CounterConfig cfg = CounterConfig::biased());
 
     /** (Re)install the filter around value: all bits unchanging. */
@@ -70,8 +82,12 @@ class BitFilter
         return (prev_ ^ value) & unchangingMask_;
     }
 
-    /** Number of mismatching unchanging bits. */
-    unsigned mismatchCount(u64 value) const;
+    /** Number of mismatching unchanging bits. Inline: this is the
+     *  TCAM scan's innermost operation. */
+    unsigned mismatchCount(u64 value) const
+    {
+        return static_cast<unsigned>(std::popcount(mismatchMask(value)));
+    }
 
     /**
      * Observe value: every bit's counter sees change/no-change relative
@@ -86,16 +102,27 @@ class BitFilter
 
     u64 prev() const { return prev_; }
     u64 unchangingMask() const { return unchangingMask_; }
-    u8 counterAt(unsigned bit) const { return counts_[bit]; }
+    /** Reconstruct one bit position's counter from the planes. */
+    u8 counterAt(unsigned bit) const
+    {
+        u8 c = 0;
+        for (unsigned p = 0; p < numPlanes_; ++p)
+            c = static_cast<u8>(c | (((planes_[p] >> bit) & 1) << p));
+        return c;
+    }
     const CounterConfig &config() const { return cfg_; }
 
     bool operator==(const BitFilter &other) const = default;
 
   private:
     CounterConfig cfg_;
+    u8 numPlanes_ = 2;
     u64 prev_ = 0;
     u64 unchangingMask_ = ~0ULL;
-    std::array<u8, wordBits> counts_{};
+    /** planes_[p] bit b = bit p of position b's counter; planes at and
+     *  above numPlanes_ stay zero, so default == compares logical
+     *  counter state. */
+    std::array<u64, maxPlanes> planes_{};
 };
 
 } // namespace fh::filters

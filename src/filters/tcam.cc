@@ -16,21 +16,49 @@ bool
 CountingTcam::closest(u64 value, unsigned &index, unsigned &count,
                       u64 &mask) const
 {
+    const unsigned n = static_cast<unsigned>(entries_.size());
+    const unsigned mru = mru_;
+    const bool mru_valid = mru < n && entries_[mru].valid;
+    const unsigned mru_count =
+        mru_valid ? entries_[mru].filter.mismatchCount(value) : 0;
+
+    // MRU fast path: value locality makes the last-touched entry the
+    // likely full match. The winner must stay the lowest-index full
+    // match (the tie-break the campaign results are pinned against),
+    // and only an index below mru can beat a fully-matching mru — the
+    // scan above mru is skipped entirely.
+    if (mru_valid && mru_count == 0) {
+        index = mru;
+        for (unsigned i = 0; i < mru; ++i) {
+            if (entries_[i].valid &&
+                entries_[i].filter.mismatchCount(value) == 0) {
+                index = i;
+                break;
+            }
+        }
+        count = 0;
+        mask = 0;
+        return true;
+    }
+
     bool found = false;
-    for (unsigned i = 0; i < entries_.size(); ++i) {
+    for (unsigned i = 0; i < n; ++i) {
         const Entry &entry = entries_[i];
         if (!entry.valid)
             continue;
-        unsigned c = entry.filter.mismatchCount(value);
+        const unsigned c =
+            i == mru ? mru_count : entry.filter.mismatchCount(value);
         if (!found || c < count) {
             found = true;
             index = i;
             count = c;
-            mask = entry.filter.mismatchMask(value);
             if (c == 0)
                 break; // cannot do better than a full match
         }
     }
+    // The mask is only needed for the winner (and is 0 on a match).
+    if (found)
+        mask = count ? entries_[index].filter.mismatchMask(value) : 0;
     return found;
 }
 
@@ -50,6 +78,7 @@ CountingTcam::lookup(u64 value)
         entries_[0].filter.install(value);
         entries_[0].valid = true;
         entries_[0].lastUse = useClock_;
+        mru_ = 0;
         res.entry = 0;
         return res;
     }
@@ -58,6 +87,7 @@ CountingTcam::lookup(u64 value)
         // Full match: reinforce the neighborhood.
         entries_[index].filter.observe(value);
         entries_[index].lastUse = useClock_;
+        mru_ = index;
         res.entry = index;
         return res;
     }
@@ -72,6 +102,7 @@ CountingTcam::lookup(u64 value)
             entries_[i].filter.install(value);
             entries_[i].valid = true;
             entries_[i].lastUse = useClock_;
+            mru_ = i;
             res.entry = i;
             res.replaced = true;
             return res;
@@ -82,6 +113,7 @@ CountingTcam::lookup(u64 value)
         // Loosen the closest filter to accommodate the value.
         entries_[index].filter.observe(value);
         entries_[index].lastUse = useClock_;
+        mru_ = index;
         res.entry = index;
         return res;
     }
@@ -93,6 +125,7 @@ CountingTcam::lookup(u64 value)
             victim = i;
     entries_[victim].filter.install(value);
     entries_[victim].lastUse = useClock_;
+    mru_ = victim;
     res.entry = victim;
     res.replaced = true;
     return res;

@@ -85,7 +85,10 @@ class CountingTcam
         bool operator==(const Entry &other) const = default;
     };
 
-    /** Find the closest valid entry; returns false if none valid. */
+    /** Find the closest valid entry; returns false if none valid.
+     *  Scans the MRU entry first: a full match there ends the search
+     *  on entry 1 of the scan, which is the common case under value
+     *  locality. The mask is computed once, for the winner only. */
     bool closest(u64 value, unsigned &index, unsigned &count,
                  u64 &mask) const;
 
@@ -93,6 +96,9 @@ class CountingTcam
     std::vector<Entry> entries_;
     u64 useClock_ = 0;
     u64 accesses_ = 0;
+    /** Last entry touched by lookup(); deterministic, so it may take
+     *  part in the defaulted operator==. */
+    unsigned mru_ = 0;
 };
 
 } // namespace fh::filters

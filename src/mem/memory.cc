@@ -17,7 +17,7 @@ Memory::addSegment(Addr base, u64 size)
     }
     Backing b;
     b.seg = {base, size};
-    b.words.assign(size / 8, 0);
+    b.words = std::make_shared<std::vector<u64>>(size / 8, 0);
     backings_.push_back(std::move(b));
 }
 
@@ -34,9 +34,16 @@ Memory::segments() const
 const Memory::Backing *
 Memory::find(Addr a) const
 {
-    for (const auto &b : backings_)
-        if (b.seg.contains(a))
-            return &b;
+    if (lastHit_ < backings_.size() &&
+        backings_[lastHit_].seg.contains(a)) {
+        return &backings_[lastHit_];
+    }
+    for (unsigned i = 0; i < backings_.size(); ++i) {
+        if (backings_[i].seg.contains(a)) {
+            lastHit_ = i;
+            return &backings_[i];
+        }
+    }
     return nullptr;
 }
 
@@ -63,7 +70,7 @@ Memory::read(Addr a, u64 &value) const
     const Backing *b = find(a);
     if (!b)
         return AccessResult::Unmapped;
-    value = b->words[(a - b->seg.base) / 8];
+    value = (*b->words)[(a - b->seg.base) / 8];
     return AccessResult::Ok;
 }
 
@@ -75,7 +82,8 @@ Memory::write(Addr a, u64 value)
     Backing *b = find(a);
     if (!b)
         return AccessResult::Unmapped;
-    b->words[(a - b->seg.base) / 8] = value;
+    detach(*b);
+    (*b->words)[(a - b->seg.base) / 8] = value;
     return AccessResult::Ok;
 }
 
@@ -83,15 +91,17 @@ u64
 Memory::peek(Addr a) const
 {
     const Backing *b = a % 8 == 0 ? find(a) : nullptr;
-    return b ? b->words[(a - b->seg.base) / 8] : 0;
+    return b ? (*b->words)[(a - b->seg.base) / 8] : 0;
 }
 
 void
 Memory::poke(Addr a, u64 value)
 {
     Backing *b = a % 8 == 0 ? find(a) : nullptr;
-    if (b)
-        b->words[(a - b->seg.base) / 8] = value;
+    if (b) {
+        detach(*b);
+        (*b->words)[(a - b->seg.base) / 8] = value;
+    }
 }
 
 size_t
@@ -99,14 +109,26 @@ Memory::footprintWords() const
 {
     size_t n = 0;
     for (const auto &b : backings_)
-        n += b.words.size();
+        n += b.words->size();
     return n;
 }
 
 bool
 Memory::sameContents(const Memory &other) const
 {
-    return backings_ == other.backings_;
+    if (backings_.size() != other.backings_.size())
+        return false;
+    for (size_t i = 0; i < backings_.size(); ++i) {
+        const Backing &a = backings_[i];
+        const Backing &b = other.backings_[i];
+        if (a.seg != b.seg)
+            return false;
+        if (a.words == b.words)
+            continue; // still sharing storage: trivially equal
+        if (*a.words != *b.words)
+            return false;
+    }
+    return true;
 }
 
 } // namespace fh::mem

@@ -7,15 +7,19 @@
  * fault, which the tandem fault classifier uses to bin "noisy" faults
  * (fault-induced exceptions) exactly as the paper does.
  *
- * Storage is dense per segment (flat vectors) so that copying a whole
- * machine state for a tandem fault fork is a handful of memcpys rather
- * than a hash-table rebuild.
+ * Storage is dense per segment (flat vectors) behind copy-on-write
+ * backings: copying a Memory — which the tandem fault framework does
+ * several times per injection trial, whole-Core copies included —
+ * only bumps a reference count per segment, and the first write
+ * through a shared backing detaches a private copy. A fork that never
+ * writes a segment never pays for it.
  */
 
 #ifndef FH_MEM_MEMORY_HH
 #define FH_MEM_MEMORY_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "sim/types.hh"
@@ -42,7 +46,7 @@ enum class AccessResult : u8
     Misaligned ///< address not 8-byte aligned
 };
 
-/** Word-granular memory backed by dense per-segment storage. */
+/** Word-granular memory backed by dense per-segment COW storage. */
 class Memory
 {
   public:
@@ -72,21 +76,38 @@ class Memory
     /** True if all segment contents match the other memory. */
     bool sameContents(const Memory &other) const;
 
-    bool operator==(const Memory &other) const = default;
+    /** Same segments and same contents (COW sharing is invisible). */
+    bool operator==(const Memory &other) const
+    {
+        return sameContents(other);
+    }
 
   private:
     struct Backing
     {
         Segment seg;
-        std::vector<u64> words;
-
-        bool operator==(const Backing &other) const = default;
+        /** Shared until the first write after a copy; read-mostly
+         *  forks of one machine state alias the same storage. */
+        std::shared_ptr<std::vector<u64>> words;
     };
 
     const Backing *find(Addr a) const;
     Backing *find(Addr a);
 
+    /** Give b private storage before a write lands in it. Safe when
+     *  other threads hold references to the old storage: they only
+     *  read it, and a stale use_count over-estimate merely causes a
+     *  harmless extra copy. */
+    static void detach(Backing &b)
+    {
+        if (b.words.use_count() > 1)
+            b.words = std::make_shared<std::vector<u64>>(*b.words);
+    }
+
     std::vector<Backing> backings_;
+    /** Last backing hit by find(); accesses cluster per segment, so
+     *  this kills the linear segment scan on the hot path. */
+    mutable unsigned lastHit_ = 0;
 };
 
 } // namespace fh::mem

@@ -18,11 +18,19 @@ Tlb::access(Addr addr)
     const u64 page = addr / params_.pageBytes;
     ++useClock_;
 
+    Entry &hint = entries_[mru_];
+    if (hint.valid && hint.page == page) {
+        hint.lastUse = useClock_;
+        ++hits_;
+        return true;
+    }
+
     Entry *victim = &entries_[0];
     for (auto &entry : entries_) {
         if (entry.valid && entry.page == page) {
             entry.lastUse = useClock_;
             ++hits_;
+            mru_ = static_cast<unsigned>(&entry - entries_.data());
             return true;
         }
         if (!entry.valid) {
@@ -35,6 +43,7 @@ Tlb::access(Addr addr)
     victim->valid = true;
     victim->page = page;
     victim->lastUse = useClock_;
+    mru_ = static_cast<unsigned>(victim - entries_.data());
     ++misses_;
     return false;
 }

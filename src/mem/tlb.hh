@@ -37,7 +37,13 @@ class Tlb
 
     void flush();
 
-    bool operator==(const Tlb &other) const = default;
+    /** The MRU hint is a pure accelerator, not TLB state. */
+    bool operator==(const Tlb &other) const
+    {
+        return params_ == other.params_ && entries_ == other.entries_ &&
+               useClock_ == other.useClock_ && hits_ == other.hits_ &&
+               misses_ == other.misses_;
+    }
 
     Cycle walkLatency() const { return params_.walkLatency; }
     u64 hits() const { return hits_; }
@@ -55,6 +61,11 @@ class Tlb
 
     TlbParams params_;
     std::vector<Entry> entries_;
+    /** Index of the last hit: page locality makes back-to-back
+     *  accesses land on the same entry, skipping the CAM scan. Pages
+     *  are unique across entries, so the shortcut returns exactly
+     *  what the scan would. */
+    unsigned mru_ = 0;
     u64 useClock_ = 0;
     u64 hits_ = 0;
     u64 misses_ = 0;

@@ -54,6 +54,8 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
     renames_.resize(params_.threads);
     threads_.resize(params_.threads);
     lsqCounts_.assign(params_.threads, 0);
+    iqLists_.resize(params_.threads);
+    issuedLists_.resize(params_.threads);
 
     for (unsigned tid = 0; tid < params_.threads; ++tid) {
         std::array<unsigned, isa::numArchRegs> map{};
@@ -343,30 +345,33 @@ Core::commitStage()
 void
 Core::completeStage()
 {
-    struct Pending
-    {
-        SeqNum seq;
-        unsigned tid;
-        unsigned slot;
-    };
-    std::vector<Pending> pending;
+    std::vector<SeqRef> &pending = scanScratch_;
+    pending.clear();
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         Rob &rob = robs_[tid];
-        for (unsigned i = 0; i < rob.size(); ++i) {
-            unsigned slot = rob.slotAt(i);
-            const RobEntry &e = rob.at(slot);
-            if (e.valid && e.state == EntryState::Issued &&
-                e.finishCycle <= cycle_) {
-                pending.push_back({e.seq, tid, slot});
+        // Scan only the slots known to be executing instead of the
+        // whole window; stale refs (squashed, completed, reused) fall
+        // out of the list here.
+        std::vector<SeqRef> &il = issuedLists_[tid];
+        size_t keep = 0;
+        for (const SeqRef &ref : il) {
+            const RobEntry &e = rob.at(ref.slot);
+            if (!e.valid || e.seq != ref.seq ||
+                e.state != EntryState::Issued) {
+                continue;
             }
+            il[keep++] = ref;
+            if (e.finishCycle <= cycle_)
+                pending.push_back(ref);
         }
+        il.resize(keep);
     }
     std::sort(pending.begin(), pending.end(),
-              [](const Pending &x, const Pending &y) {
+              [](const SeqRef &x, const SeqRef &y) {
                   return x.seq < y.seq;
               });
 
-    for (const Pending &p : pending) {
+    for (const SeqRef &p : pending) {
         RobEntry &e = robs_[p.tid].at(p.slot);
         // Re-validate: an earlier completion may have squashed us.
         if (!e.valid || e.seq != p.seq || e.state != EntryState::Issued)
@@ -386,6 +391,7 @@ Core::completeStage()
         }
         completeEntry(p.tid, p.slot);
     }
+    pending.clear();
 }
 
 void
@@ -583,11 +589,11 @@ Core::executeAtIssue(RobEntry &entry)
         Cycle latency = hier_.params().l1d.hitLatency;
         if (!ts.opts.perfectDcache)
             latency = hier_.data(entry.effAddr, cycle_).latency;
-        if (memory_.check(entry.effAddr) != mem::AccessResult::Ok) {
-            entry.trap =
-                memory_.check(entry.effAddr) == mem::AccessResult::Unmapped
-                    ? isa::Trap::MemUnmapped
-                    : isa::Trap::MemMisaligned;
+        const mem::AccessResult chk = memory_.check(entry.effAddr);
+        if (chk != mem::AccessResult::Ok) {
+            entry.trap = chk == mem::AccessResult::Unmapped
+                             ? isa::Trap::MemUnmapped
+                             : isa::Trap::MemMisaligned;
             entry.result = 0;
         } else {
             entry.result = loadValueFor(entry, entry.tid);
@@ -631,20 +637,23 @@ Core::issueStage()
     if (cycle_ < issueBlockedUntil_)
         return; // singleton re-execute owns the issue slots
 
-    struct Candidate
-    {
-        SeqNum seq;
-        unsigned tid;
-        unsigned slot;
-    };
-    std::vector<Candidate> ready;
+    std::vector<SeqRef> &ready = scanScratch_;
+    ready.clear();
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         Rob &rob = robs_[tid];
-        for (unsigned i = 0; i < rob.size(); ++i) {
-            unsigned slot = rob.slotAt(i);
-            const RobEntry &e = rob.at(slot);
-            if (!e.valid || e.state != EntryState::Dispatched)
+        // Scan only the slots known to wait in the issue queue; stale
+        // refs (squashed, issued, reused) fall out of the list here.
+        // List order does not matter — the sort below puts candidates
+        // in seq order, exactly as the full ROB walk produced them.
+        std::vector<SeqRef> &iq = iqLists_[tid];
+        size_t keep = 0;
+        for (const SeqRef &ref : iq) {
+            const RobEntry &e = rob.at(ref.slot);
+            if (!e.valid || e.seq != ref.seq ||
+                e.state != EntryState::Dispatched) {
                 continue;
+            }
+            iq[keep++] = ref;
             if (e.src1Preg != invalidPreg && !regfile_.ready(e.src1Preg))
                 continue;
             // Stores wait only for the address operand; the data is
@@ -661,11 +670,12 @@ Core::issueStage()
                 if (loadBlocked(tid, e.seq, addr))
                     continue;
             }
-            ready.push_back({e.seq, tid, slot});
+            ready.push_back(ref);
         }
+        iq.resize(keep);
     }
     std::sort(ready.begin(), ready.end(),
-              [](const Candidate &x, const Candidate &y) {
+              [](const SeqRef &x, const SeqRef &y) {
                   return x.seq < y.seq;
               });
 
@@ -673,10 +683,18 @@ Core::issueStage()
     unsigned alu = 0;
     unsigned mul = 0;
     unsigned mem_ops = 0;
-    for (const Candidate &c : ready) {
+    for (const SeqRef &c : ready) {
         if (total >= params_.issueWidth)
             break;
         RobEntry &e = robs_[c.tid].at(c.slot);
+        // Re-validate: the IQ list may briefly hold two refs to the
+        // same entry (a replay re-append while issue was blocked), and
+        // the first of the pair has issued it by the time the second
+        // comes around.
+        if (!e.valid || e.seq != c.seq ||
+            e.state != EntryState::Dispatched) {
+            continue;
+        }
         switch (isa::classOf(e.inst.op)) {
           case isa::OpClass::IntMul:
             if (mul >= params_.numMul)
@@ -697,10 +715,12 @@ Core::issueStage()
         }
         executeAtIssue(e);
         e.state = EntryState::Issued;
+        issuedLists_[c.tid].push_back(c);
         --iqCount_; // issued instructions vacate the scheduler
         ++total;
         ++stats_.issued;
     }
+    ready.clear();
 }
 
 // -------------------------------------------------------------- dispatch
@@ -763,6 +783,7 @@ Core::dispatchStage()
 
             if (needs_iq) {
                 ++iqCount_;
+                iqLists_[tid].push_back({e.seq, tid, slot});
             } else {
                 e.state = EntryState::Completed;
                 e.completedOnce = true;
@@ -889,6 +910,7 @@ Core::triggerReplay(unsigned tid)
         // it drains, which is the replay's back-pressure).
         e.state = EntryState::Dispatched;
         ++iqCount_;
+        iqLists_[tid].push_back({e.seq, tid, slot});
         e.inReplay = true;
         e.inDelayBuffer = false;
         if (e.destPreg != invalidPreg)

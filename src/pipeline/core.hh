@@ -310,6 +310,31 @@ class Core
 
     unsigned iqCount_ = 0;
     std::vector<unsigned> lsqCounts_; ///< per-context LSQ partitions
+
+    /** One age-ordered scan element of the issue/complete stages. */
+    struct SeqRef
+    {
+        SeqNum seq;
+        unsigned tid;
+        unsigned slot;
+    };
+    /** Scratch for the per-cycle ROB scans; kept as a member so its
+     *  capacity survives across ticks instead of being reallocated
+     *  every cycle. Always empty outside a stage. */
+    std::vector<SeqRef> scanScratch_;
+
+    /**
+     * Per-thread slot lists driving the issue and complete scans:
+     * entries possibly in the issue queue (Dispatched) and possibly
+     * executing (Issued). Conservative supersets — every transition
+     * into the state appends a ref, and the per-cycle scans drop refs
+     * whose entry no longer matches (squashed, rolled back, reused or
+     * moved on), so the scanned set is exactly the entries the full
+     * ROB walk used to find. Part of the machine snapshot: forks
+     * resume with the lists their master had.
+     */
+    std::vector<std::vector<SeqRef>> iqLists_;
+    std::vector<std::vector<SeqRef>> issuedLists_;
     unsigned fetchRotate_ = 0;
     Cycle issueBlockedUntil_ = 0;
 

@@ -31,19 +31,25 @@ constexpr unsigned invalidPreg = ~0u;
 /** One in-flight instruction. */
 struct RobEntry
 {
+    // Hot header: everything the per-cycle issue/complete scans read
+    // while rejecting a slot, packed at the front so a scanned entry
+    // usually costs a single cache-line fill.
     bool valid = false;
+    EntryState state = EntryState::Dispatched;
+    bool isLoad = false;
+    bool isStore = false;
     unsigned tid = 0;
     SeqNum seq = 0;
+    Cycle finishCycle = 0;
+    unsigned src1Preg = invalidPreg;
+    unsigned src2Preg = invalidPreg;
+
     u64 pc = 0;
     isa::Instruction inst;
 
     unsigned destPreg = invalidPreg;
     unsigned oldPreg = invalidPreg;
-    unsigned src1Preg = invalidPreg;
-    unsigned src2Preg = invalidPreg;
 
-    EntryState state = EntryState::Dispatched;
-    Cycle finishCycle = 0;
     u64 result = 0; ///< ALU result / load value / branch direction
     /**
      * Held in the delay buffer for potential predecessor replay. An
@@ -56,11 +62,10 @@ struct RobEntry
     bool inReplay = false;      ///< re-executing; triggers are ignored
     bool completedOnce = false; ///< completed at least one execution
 
-    // Memory fields (double as the LSQ entry). Stores issue when the
-    // address operand is ready (split store-address/store-data): the
-    // data is captured at completion, which defers until it is ready.
-    bool isLoad = false;
-    bool isStore = false;
+    // Memory fields (double as the LSQ entry; isLoad/isStore live in
+    // the hot header above). Stores issue when the address operand is
+    // ready (split store-address/store-data): the data is captured at
+    // completion, which defers until it is ready.
     bool addrValid = false;
     bool dataValid = false; ///< store data captured
     Addr effAddr = 0;

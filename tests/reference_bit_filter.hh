@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Scalar reference implementation of BitFilter: the original
+ * one-byte-counter-per-bit loop, kept verbatim as the behavioral
+ * oracle for the bit-sliced (SWAR) production implementation. Any
+ * divergence between the two is a bug in the plane kernels, never in
+ * this file — keep it boring.
+ */
+
+#ifndef FH_TESTS_REFERENCE_BIT_FILTER_HH
+#define FH_TESTS_REFERENCE_BIT_FILTER_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "filters/bit_filter.hh"
+#include "sim/types.hh"
+
+namespace fh::filters
+{
+
+/** Scalar (per-bit loop) twin of BitFilter; same observable API. */
+class ReferenceBitFilter
+{
+  public:
+    explicit ReferenceBitFilter(CounterConfig cfg = CounterConfig::biased())
+        : cfg_(cfg)
+    {
+    }
+
+    void install(u64 value)
+    {
+        prev_ = value;
+        unchangingMask_ = ~0ULL;
+        counts_.fill(0);
+    }
+
+    u64 mismatchMask(u64 value) const
+    {
+        return (prev_ ^ value) & unchangingMask_;
+    }
+
+    unsigned mismatchCount(u64 value) const
+    {
+        return static_cast<unsigned>(std::popcount(mismatchMask(value)));
+    }
+
+    u64 observe(u64 value)
+    {
+        const u64 changed = prev_ ^ value;
+        const u64 alarm = changed & unchangingMask_;
+
+        u64 mask = 0;
+        for (unsigned bit = 0; bit < wordBits; ++bit) {
+            u8 &count = counts_[bit];
+            const bool bit_changed = (changed >> bit) & 1;
+            switch (cfg_.kind) {
+              case CounterKind::Sticky:
+                if (bit_changed)
+                    count = 1;
+                break;
+              case CounterKind::Standard:
+              case CounterKind::Biased:
+                if (bit_changed) {
+                    count = std::min<u8>(
+                        static_cast<u8>(count + cfg_.jump), cfg_.maxCount);
+                } else if (count > 0) {
+                    --count;
+                }
+                break;
+            }
+            if (count == 0)
+                mask |= 1ULL << bit;
+        }
+
+        unchangingMask_ = mask;
+        prev_ = value;
+        return alarm;
+    }
+
+    void clear()
+    {
+        counts_.fill(0);
+        unchangingMask_ = ~0ULL;
+    }
+
+    u64 prev() const { return prev_; }
+    u64 unchangingMask() const { return unchangingMask_; }
+    u8 counterAt(unsigned bit) const { return counts_[bit]; }
+    const CounterConfig &config() const { return cfg_; }
+
+  private:
+    CounterConfig cfg_;
+    u64 prev_ = 0;
+    u64 unchangingMask_ = ~0ULL;
+    std::array<u8, wordBits> counts_{};
+};
+
+} // namespace fh::filters
+
+#endif // FH_TESTS_REFERENCE_BIT_FILTER_HH
