@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Campaign-throughput micro-harness: the headline trials/second number
+ * behind BENCH_campaign.json. Runs one fault-injection campaign at 1
+ * worker thread and at all hardware threads and reports throughput
+ * plus the per-phase wall-time breakdown (snapshot / golden-ledger /
+ * bare / protected / compare).
+ *
+ * Human-readable summary goes to stderr; a machine-readable record in
+ * the BENCH_campaign.json shape goes to FH_JSON (path, or "-" for
+ * stdout — the default), so CI can smoke the schema:
+ *
+ *   FH_INJECTIONS=2000 FH_THREADS=1 bench_campaign_throughput
+ *
+ * Honors FH_BENCH (default 400.perl, matching the recorded baseline),
+ * FH_INJECTIONS (default 2000), FH_WINDOW, FH_SEED, FH_GOLDEN_FORK.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "harness.hh"
+
+using namespace fh;
+
+namespace
+{
+
+struct Run
+{
+    unsigned threads = 1;
+    double seconds = 0.0;
+    fault::CampaignResult result;
+};
+
+void
+printPhases(std::FILE *out, const fault::CampaignPhases &p)
+{
+    const double total =
+        static_cast<double>(p.totalNs() ? p.totalNs() : 1);
+    auto pct = [&](u64 ns) {
+        return 100.0 * static_cast<double>(ns) / total;
+    };
+    std::fprintf(out,
+                 "  phases: snapshot %.1f%%  golden-ledger %.1f%%  "
+                 "bare %.1f%%  protected %.1f%%  compare %.1f%%\n",
+                 pct(p.snapshotNs), pct(p.goldenNs), pct(p.bareNs),
+                 pct(p.protectedNs), pct(p.compareNs));
+}
+
+void
+writeJsonPhases(std::FILE *out, const fault::CampaignPhases &p,
+                const char *indent)
+{
+    const double total =
+        static_cast<double>(p.totalNs() ? p.totalNs() : 1);
+    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
+    auto pct = [&](u64 ns) {
+        return 100.0 * static_cast<double>(ns) / total;
+    };
+    std::fprintf(out,
+                 "%s\"phases_ns\": { \"snapshot\": %llu, \"golden\": "
+                 "%llu, \"bare\": %llu, \"protected\": %llu, "
+                 "\"compare\": %llu },\n",
+                 indent, u(p.snapshotNs), u(p.goldenNs), u(p.bareNs),
+                 u(p.protectedNs), u(p.compareNs));
+    std::fprintf(out,
+                 "%s\"phases_pct\": { \"snapshot\": %.1f, \"golden\": "
+                 "%.1f, \"bare\": %.1f, \"protected\": %.1f, "
+                 "\"compare\": %.1f }",
+                 indent, pct(p.snapshotNs), pct(p.goldenNs),
+                 pct(p.bareNs), pct(p.protectedNs), pct(p.compareNs));
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string bench_name = bench::envStr("FH_BENCH", "400.perl");
+    auto cfg = bench::campaignConfig();
+    cfg.injections = bench::envU64("FH_INJECTIONS", 2000);
+
+    workload::WorkloadSpec spec;
+    spec.maxThreads = 2;
+    isa::Program prog = workload::build(bench_name, spec);
+    pipeline::CoreParams params;
+    params.detector = filters::DetectorParams::faultHound();
+
+    std::vector<unsigned> counts{1};
+    if (exec::hardwareThreads() > 1)
+        counts.push_back(exec::hardwareThreads());
+
+    std::vector<Run> runs;
+    for (unsigned threads : counts) {
+        Run run;
+        run.threads = threads;
+        cfg.threads = threads;
+        std::fprintf(stderr,
+                     "campaign throughput: %s, %llu injections, %u "
+                     "worker thread(s), %s golden...\n",
+                     bench_name.c_str(),
+                     static_cast<unsigned long long>(cfg.injections),
+                     threads,
+                     cfg.forceGoldenFork ? "forked" : "ledger");
+        const auto t0 = std::chrono::steady_clock::now();
+        run.result = fault::runCampaign(params, &prog, cfg);
+        run.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        const double tps =
+            run.seconds > 0
+                ? static_cast<double>(run.result.injected) / run.seconds
+                : 0.0;
+        std::fprintf(stderr, "  %.1f trials/s (%.2f s)\n", tps,
+                     run.seconds);
+        printPhases(stderr, run.result.phases);
+        runs.push_back(std::move(run));
+    }
+
+    const std::string json = bench::envStr("FH_JSON", "-");
+    std::FILE *out = json == "-" ? stdout : std::fopen(json.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write FH_JSON file %s\n",
+                     json.c_str());
+        return 1;
+    }
+    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"%s\",\n", bench_name.c_str());
+    std::fprintf(out, "  \"seed\": %llu,\n", u(cfg.seed));
+    std::fprintf(out, "  \"injections\": %llu,\n", u(cfg.injections));
+    std::fprintf(out, "  \"window\": %llu,\n", u(cfg.window));
+    std::fprintf(out, "  \"golden_mode\": \"%s\",\n",
+                 cfg.forceGoldenFork ? "forked" : "ledger");
+    std::fprintf(out, "  \"runs\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const Run &run = runs[i];
+        const double tps =
+            run.seconds > 0
+                ? static_cast<double>(run.result.injected) / run.seconds
+                : 0.0;
+        std::fprintf(out, "    {\n");
+        std::fprintf(out, "      \"worker_threads\": %u,\n", run.threads);
+        std::fprintf(out, "      \"elapsed_seconds\": %.3f,\n",
+                     run.seconds);
+        std::fprintf(out, "      \"trials_per_second\": %.1f,\n", tps);
+        writeJsonPhases(out, run.result.phases, "      ");
+        std::fprintf(out, "\n    }%s\n",
+                     i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    const fault::CampaignResult &r = runs.front().result;
+    std::fprintf(out, "  \"classification\": {\n");
+    std::fprintf(out, "    \"injected\": %llu,\n", u(r.injected));
+    std::fprintf(out, "    \"masked\": %llu,\n", u(r.masked));
+    std::fprintf(out, "    \"noisy\": %llu,\n", u(r.noisy));
+    std::fprintf(out, "    \"sdc\": %llu,\n", u(r.sdc));
+    std::fprintf(out, "    \"recovered\": %llu,\n", u(r.recovered));
+    std::fprintf(out, "    \"detected\": %llu,\n", u(r.detected));
+    std::fprintf(out, "    \"uncovered\": %llu\n", u(r.uncovered));
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}

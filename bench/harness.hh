@@ -10,6 +10,9 @@
  *   FH_SEED        master seed
  *   FH_THREADS     host worker threads (default: all hardware
  *                  threads; results are bit-identical for any value)
+ *   FH_GOLDEN_FORK set to 1 to run campaigns with the legacy explicit
+ *                  golden fork instead of the golden checkpoint
+ *                  ledger (same counts, ~1 extra fork per trial)
  *
  * The campaign-heavy harnesses additionally parallelize across their
  * independent scheme/size/benchmark cells, splitting the FH_THREADS
@@ -202,6 +205,7 @@ campaignConfig()
     cfg.window = envU64("FH_WINDOW", 1000);
     cfg.seed = envU64("FH_SEED", 1);
     cfg.threads = static_cast<unsigned>(envU64("FH_THREADS", 0));
+    cfg.forceGoldenFork = envU64("FH_GOLDEN_FORK", 0) != 0;
     return cfg;
 }
 

@@ -73,7 +73,28 @@ writeJson(const char *path, const char *bench, unsigned workers,
                  u(r.bins.renameUncovered));
     std::fprintf(out, "    \"no_trigger\": %llu,\n", u(r.bins.noTrigger));
     std::fprintf(out, "    \"other\": %llu\n", u(r.bins.other));
-    std::fprintf(out, "  }\n");
+    std::fprintf(out, "  },\n");
+    // Wall-time phase breakdown: master advance + golden checkpoint
+    // ledger, snapshot copies, the two faulty forks, and the
+    // arch/digest comparisons.
+    const fault::CampaignPhases &p = r.phases;
+    const double total =
+        static_cast<double>(p.totalNs() ? p.totalNs() : 1);
+    auto pct = [&](u64 ns) {
+        return 100.0 * static_cast<double>(ns) / total;
+    };
+    std::fprintf(out,
+                 "  \"phases_ns\": { \"snapshot\": %llu, \"golden\": "
+                 "%llu, \"bare\": %llu, \"protected\": %llu, "
+                 "\"compare\": %llu },\n",
+                 u(p.snapshotNs), u(p.goldenNs), u(p.bareNs),
+                 u(p.protectedNs), u(p.compareNs));
+    std::fprintf(out,
+                 "  \"phases_pct\": { \"snapshot\": %.1f, \"golden\": "
+                 "%.1f, \"bare\": %.1f, \"protected\": %.1f, "
+                 "\"compare\": %.1f }\n",
+                 pct(p.snapshotNs), pct(p.goldenNs), pct(p.bareNs),
+                 pct(p.protectedNs), pct(p.compareNs));
     std::fprintf(out, "}\n");
     if (out != stdout)
         std::fclose(out);
@@ -104,6 +125,8 @@ main(int argc, char **argv)
     cfg.window = 1000; // paper: 1000-instruction run window
     cfg.threads = static_cast<unsigned>(
         env_threads ? std::strtoul(env_threads, nullptr, 0) : 0);
+    if (const char *gf = std::getenv("FH_GOLDEN_FORK"))
+        cfg.forceGoldenFork = std::strtoul(gf, nullptr, 0) != 0;
     if (argc > 2)
         cfg.threads =
             static_cast<unsigned>(std::strtoul(argv[2], nullptr, 0));

@@ -152,6 +152,7 @@ main(int argc, char **argv)
         ccfg.seed = cfg.getU64("seed", 1);
         ccfg.threads =
             static_cast<unsigned>(cfg.getU64("jobs", 0));
+        ccfg.forceGoldenFork = cfg.getBool("golden_fork", false);
         exec::ProgressMeter meter("fhsim campaign", ccfg.injections);
         ccfg.progress = &meter;
         std::fprintf(stderr, "fhsim: running %llu-injection "
@@ -168,6 +169,22 @@ main(int argc, char **argv)
                     "campaign.sdc", r.sdcFrac());
         std::printf("%-34s%-16.4f# of SDC faults\n",
                     "campaign.coverage", r.coverage());
+        // Wall-time phase split goes to stderr with the other
+        // diagnostics: stdout stays byte-identical across runs and
+        // worker counts (the determinism suite diffs it).
+        const fault::CampaignPhases &p = r.phases;
+        const double total = static_cast<double>(
+            p.totalNs() ? p.totalNs() : 1);
+        auto pct = [&](u64 ns) {
+            return 100.0 * static_cast<double>(ns) / total;
+        };
+        std::fprintf(stderr,
+                     "fhsim: campaign time %.2fs — snapshot %.1f%%, "
+                     "golden-ledger %.1f%%, bare %.1f%%, protected "
+                     "%.1f%%, compare %.1f%%\n",
+                     static_cast<double>(p.totalNs()) * 1e-9,
+                     pct(p.snapshotNs), pct(p.goldenNs), pct(p.bareNs),
+                     pct(p.protectedNs), pct(p.compareNs));
     }
     return 0;
 }

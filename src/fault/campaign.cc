@@ -1,11 +1,14 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <utility>
 #include <vector>
 
 #include "exec/progress.hh"
 #include "exec/thread_pool.hh"
+#include "fault/golden_ledger.hh"
 #include "sim/logging.hh"
 
 namespace fh::fault
@@ -13,6 +16,18 @@ namespace fh::fault
 
 namespace
 {
+
+/** Wall-clock phase accounting (never feeds classification). */
+using PhaseClock = std::chrono::steady_clock;
+
+u64
+nsSince(PhaseClock::time_point t0)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            PhaseClock::now() - t0)
+            .count());
+}
 
 /** Detector-stat deltas observed by a protected faulty fork. */
 struct DetectorDelta
@@ -49,73 +64,38 @@ struct Trial
 };
 
 /**
- * Run the 2–3 forks of one trial and classify the outcome. A pure
- * function of the descriptor (safe on any worker thread; the returned
- * single-trial counters merge into CampaignResult with
- * order-insensitive adds), except that the last fork consumes
- * t.master by move — the caller's batch slot is dead after this and
- * gets overwritten by the next batch.
+ * Shared tail of both classifiers: the SDC fault ran through a
+ * protected fork — decide recovered/detected/uncovered and the
+ * Figure 11 bin. golden_trapped is the golden trap status (fork or
+ * ledger); prot_matches_golden must already include the
+ * reached-targets and no-trap guards (short-circuit preserved from
+ * the original classifier).
  */
-CampaignResult
-runTrial(const pipeline::CoreParams &params, const CampaignConfig &cfg,
-         Trial &t)
+void
+classifyProtected(CampaignResult &r, const Trial &t,
+                  const ForkOutcome &prot, bool golden_trapped,
+                  bool prot_matches_golden)
 {
-    CampaignResult r;
-    ++r.injected;
-
-    // Golden fork: no fault, detector checks off (architecturally
-    // identical to a protected run; faster).
-    ForkOutcome golden =
-        runFork(t.master, nullptr, false, t.targets, cfg.forkMaxCycles);
-
-    // Unprotected faulty fork: classifies the fault itself.
-    ForkOutcome bare =
-        runFork(t.master, &t.plan, false, t.targets, cfg.forkMaxCycles);
-
-    const bool noisy =
-        bare.trapped != golden.trapped || !bare.reachedTargets;
-    if (noisy) {
-        ++r.noisy;
-        return r;
-    }
-    if (archEquals(bare.core, golden.core)) {
-        ++r.masked;
-        return r;
-    }
-    ++r.sdc;
-
-    if (params.detector.scheme == filters::Scheme::None) {
-        ++r.uncovered;
-        ++r.bins.other;
-        return r;
-    }
-
-    // Protected faulty fork: does the scheme cover the fault? This is
-    // the trial's last fork, so it takes the snapshot by move.
-    ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
-                               t.targets, cfg.forkMaxCycles);
-
     const bool det = prot.core.faultDetected() ||
-                     (prot.trapped && !golden.trapped);
-    const bool recov = prot.reachedTargets && !prot.trapped &&
-                       archEquals(prot.core, golden.core);
+                     (prot.trapped && !golden_trapped);
+    const bool recov = prot_matches_golden;
 
     if (recov && !det) {
         ++r.recovered;
         ++r.bins.covered;
-        return r;
+        return;
     }
     if (det) {
         ++r.detected;
         ++r.bins.covered;
-        return r;
+        return;
     }
     ++r.uncovered;
 
     // Figure 11 binning for the uncovered fault.
     if (t.plan.target == Target::Rename) {
         ++r.bins.renameUncovered;
-        return r;
+        return;
     }
     DetectorDelta d = deltaOf(prot.core, t.masterStats);
     if (d.triggers == 0) {
@@ -132,28 +112,143 @@ runTrial(const pipeline::CoreParams &params, const CampaignConfig &cfg,
     } else {
         ++r.bins.other;
     }
+}
+
+/**
+ * Legacy trial: run the golden fork explicitly plus 1–2 faulty forks
+ * and classify. A pure function of the descriptor (safe on any worker
+ * thread; the returned single-trial counters merge into
+ * CampaignResult with order-insensitive adds), except that the last
+ * fork consumes t.master by move — the caller's batch slot is dead
+ * after this and gets overwritten by the next batch.
+ */
+CampaignResult
+runTrialGoldenFork(const pipeline::CoreParams &params,
+                   const CampaignConfig &cfg, Trial &t)
+{
+    CampaignResult r;
+    ++r.injected;
+
+    // Golden fork: no fault, detector checks off (architecturally
+    // identical to a protected run; faster).
+    auto t0 = PhaseClock::now();
+    ForkOutcome golden =
+        runFork(t.master, nullptr, false, t.targets, cfg.forkMaxCycles);
+    r.phases.goldenNs += nsSince(t0);
+
+    // Unprotected faulty fork: classifies the fault itself.
+    t0 = PhaseClock::now();
+    ForkOutcome bare =
+        runFork(t.master, &t.plan, false, t.targets, cfg.forkMaxCycles);
+    r.phases.bareNs += nsSince(t0);
+
+    const bool noisy =
+        bare.trapped != golden.trapped || !bare.reachedTargets;
+    if (noisy) {
+        ++r.noisy;
+        return r;
+    }
+    t0 = PhaseClock::now();
+    const bool masked = archEquals(bare.core, golden.core);
+    r.phases.compareNs += nsSince(t0);
+    if (masked) {
+        ++r.masked;
+        return r;
+    }
+    ++r.sdc;
+
+    if (params.detector.scheme == filters::Scheme::None) {
+        ++r.uncovered;
+        ++r.bins.other;
+        return r;
+    }
+
+    // Protected faulty fork: does the scheme cover the fault? This is
+    // the trial's last fork, so it takes the snapshot by move.
+    t0 = PhaseClock::now();
+    ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
+                               t.targets, cfg.forkMaxCycles);
+    r.phases.protectedNs += nsSince(t0);
+
+    t0 = PhaseClock::now();
+    const bool prot_matches = prot.reachedTargets && !prot.trapped &&
+                              archEquals(prot.core, golden.core);
+    r.phases.compareNs += nsSince(t0);
+    classifyProtected(r, t, prot, golden.trapped, prot_matches);
     return r;
 }
 
-} // namespace
-
+/**
+ * Ledger trial: no golden execution at all. The bare (and, for SDC
+ * faults, protected) fork is compared against the master's golden
+ * checkpoint with O(threads + segments) arch/digest compares.
+ */
 CampaignResult
-runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
-            const CampaignConfig &cfg)
+runTrialLedger(const pipeline::CoreParams &params,
+               const CampaignConfig &cfg, Trial &t,
+               const GoldenLedger::Entry &g)
 {
-    pipeline::Core master(params, prog);
+    CampaignResult r;
+    ++r.injected;
+
+    // With no protected scheme there is no third fork, so the bare
+    // fork is the trial's last and takes the snapshot by move.
+    const bool bare_is_last =
+        params.detector.scheme == filters::Scheme::None;
+
+    auto t0 = PhaseClock::now();
+    ForkOutcome bare =
+        bare_is_last
+            ? runFork(std::move(t.master), &t.plan, false, t.targets,
+                      cfg.forkMaxCycles)
+            : runFork(t.master, &t.plan, false, t.targets,
+                      cfg.forkMaxCycles);
+    r.phases.bareNs += nsSince(t0);
+
+    const bool noisy = bare.trapped != g.trapped || !bare.reachedTargets;
+    if (noisy) {
+        ++r.noisy;
+        return r;
+    }
+    t0 = PhaseClock::now();
+    const bool masked = GoldenLedger::matches(g, bare.core);
+    r.phases.compareNs += nsSince(t0);
+    if (masked) {
+        ++r.masked;
+        return r;
+    }
+    ++r.sdc;
+
+    if (bare_is_last) {
+        ++r.uncovered;
+        ++r.bins.other;
+        return r;
+    }
+
+    t0 = PhaseClock::now();
+    ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
+                               t.targets, cfg.forkMaxCycles);
+    r.phases.protectedNs += nsSince(t0);
+
+    t0 = PhaseClock::now();
+    const bool prot_matches = prot.reachedTargets && !prot.trapped &&
+                              GoldenLedger::matches(g, prot.core);
+    r.phases.compareNs += nsSince(t0);
+    classifyProtected(r, t, prot, g.trapped, prot_matches);
+    return r;
+}
+
+/**
+ * Legacy campaign loop: produce a batch of snapshots, run each
+ * trial's golden + faulty forks on the pool, merge in trial order.
+ */
+CampaignResult
+runCampaignGoldenFork(const pipeline::CoreParams &params,
+                      const CampaignConfig &cfg, pipeline::Core &master)
+{
     Rng gapRng(cfg.seed);
     CampaignResult result;
-
-    // Warm up caches, predictors and filters.
-    while (master.committedTotal() < cfg.warmupInsts &&
-           !master.allHalted()) {
-        master.tick();
-    }
-    if (master.allHalted())
-        fh_fatal("workload '%s' halted during warmup; "
-                 "increase its iteration count",
-                 prog->name.c_str());
+    CampaignPhases produced;
 
     const unsigned threads = exec::resolveThreads(cfg.threads);
     exec::ThreadPool pool(threads);
@@ -177,9 +272,11 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
         u64 filled = 0;
         while (filled < batch_cap && trial < cfg.injections) {
             // Advance the master to the next injection point.
+            auto t0 = PhaseClock::now();
             const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
             for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
                 master.tick();
+            produced.snapshotNs += nsSince(t0);
             if (master.allHalted()) {
                 halted = true;
                 break;
@@ -188,6 +285,7 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
             // The plan comes from the trial's own stream, so the
             // injection schedule is a pure function of (seed, trial)
             // regardless of how many workers execute the forks.
+            t0 = PhaseClock::now();
             Rng trialRng = Rng::stream(cfg.seed, trial);
             const InjectionPlan plan = drawPlan(master, cfg.mix, trialRng);
 
@@ -202,12 +300,13 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
                 batch[filled] = std::move(t);
             else
                 batch.push_back(std::move(t));
+            produced.snapshotNs += nsSince(t0);
             ++filled;
             ++trial;
         }
 
         pool.parallelFor(filled, [&](u64 k) {
-            partial[k] = runTrial(params, cfg, batch[k]);
+            partial[k] = runTrialGoldenFork(params, cfg, batch[k]);
             if (cfg.progress)
                 cfg.progress->tick();
         });
@@ -215,7 +314,161 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
             result += partial[k];
     }
 
+    result.phases += produced;
     return result;
+}
+
+/**
+ * Ledger campaign loop. The master advances on exactly the legacy
+ * schedule (same gap ticks between the same snapshots, no extra
+ * ticks), so the injection points — and therefore every
+ * classification — are bit-identical to the golden-fork path. A
+ * produced trial waits in a FIFO until the master's own advance
+ * crosses all its commit targets (completing its ledger entry,
+ * usually within the next trial or two's gaps); completed trials run
+ * on the pool in waves. Only after the final snapshot, when no
+ * further injection points depend on the master's cycle position,
+ * does the producer tick the master extra ("drain") cycles to close
+ * the last windows.
+ */
+CampaignResult
+runCampaignLedger(const pipeline::CoreParams &params,
+                  const CampaignConfig &cfg, pipeline::Core &master)
+{
+    Rng gapRng(cfg.seed);
+    CampaignResult result;
+    CampaignPhases produced;
+
+    GoldenLedger ledger(master);
+    master.setCommitObserver(&ledger);
+
+    const unsigned threads = exec::resolveThreads(cfg.threads);
+    exec::ThreadPool pool(threads);
+    const u64 batch_cap = std::max<u64>(u64{threads} * 4, 8);
+
+    struct Pending
+    {
+        Trial t;
+        u32 slot;
+    };
+    // Produced trials whose windows the master has not fully crossed
+    // yet; bounded by window/minGap in practice, not by batch_cap.
+    std::deque<Pending> inflight;
+    std::vector<Pending> wave;
+    wave.reserve(batch_cap + 8);
+    std::vector<CampaignResult> partial;
+
+    auto promote = [&] {
+        // Entries complete in production order: per-thread targets are
+        // nondecreasing, so the FIFO's front always finishes first.
+        while (!inflight.empty() &&
+               ledger.complete(inflight.front().slot)) {
+            wave.push_back(std::move(inflight.front()));
+            inflight.pop_front();
+        }
+    };
+    auto flushWave = [&] {
+        if (wave.empty())
+            return;
+        partial.resize(wave.size());
+        pool.parallelFor(wave.size(), [&](u64 k) {
+            partial[k] = runTrialLedger(params, cfg, wave[k].t,
+                                        ledger.entry(wave[k].slot));
+            if (cfg.progress)
+                cfg.progress->tick();
+        });
+        // Merge in trial (production) order: bit-identical for any
+        // worker count. Slots free up for the next opens.
+        for (size_t k = 0; k < wave.size(); ++k) {
+            result += partial[k];
+            ledger.release(wave[k].slot);
+        }
+        wave.clear();
+    };
+
+    u64 trial = 0;
+    bool halted = false;
+    while (trial < cfg.injections && !halted) {
+        // Advance the master to the next injection point — the exact
+        // legacy schedule. Ledger entries of earlier trials complete
+        // passively inside these ticks via the commit observer.
+        auto t0 = PhaseClock::now();
+        const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
+        for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
+            master.tick();
+        produced.goldenNs += nsSince(t0);
+        if (master.allHalted()) {
+            halted = true;
+            break;
+        }
+
+        t0 = PhaseClock::now();
+        Rng trialRng = Rng::stream(cfg.seed, trial);
+        const InjectionPlan plan = drawPlan(master, cfg.mix, trialRng);
+        pipeline::PregPhase phase = pipeline::PregPhase::Free;
+        if (plan.target == Target::RegFile)
+            phase = master.pregPhase(plan.preg);
+
+        std::vector<u64> targets = windowTargets(master, cfg.window);
+        const u32 slot = ledger.open(targets);
+        inflight.push_back({Trial{master, plan, std::move(targets),
+                                  phase, master.detector().stats()},
+                            slot});
+        produced.snapshotNs += nsSince(t0);
+        ++trial;
+
+        promote();
+        if (wave.size() >= batch_cap)
+            flushWave();
+    }
+
+    // Drain: the last trials' windows extend past the final snapshot.
+    // The schedule no longer matters (nothing else is snapshotted), so
+    // tick until the youngest entry completes, bounded like a fork.
+    auto t0 = PhaseClock::now();
+    if (!inflight.empty()) {
+        Cycle drained = 0;
+        while (!ledger.complete(inflight.back().slot) &&
+               !master.allHalted() && drained < cfg.forkMaxCycles) {
+            master.tick();
+            ++drained;
+        }
+        if (!ledger.complete(inflight.back().slot))
+            ledger.forceFinalizeAll(); // hung master; see GoldenLedger
+    }
+    produced.goldenNs += nsSince(t0);
+
+    promote();
+    fh_assert(inflight.empty(), "ledger drain left incomplete entries");
+    flushWave();
+
+    master.setCommitObserver(nullptr);
+    result.phases += produced;
+    return result;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
+            const CampaignConfig &cfg)
+{
+    pipeline::Core master(params, prog);
+
+    // Warm up caches, predictors and filters.
+    while (master.committedTotal() < cfg.warmupInsts &&
+           !master.allHalted()) {
+        master.tick();
+    }
+    if (master.allHalted())
+        fh_fatal("workload '%s' halted during warmup; "
+                 "increase its iteration count",
+                 prog->name.c_str());
+
+    const bool use_ledger =
+        !cfg.forceGoldenFork && GoldenLedger::supports(master, *prog);
+    return use_ledger ? runCampaignLedger(params, cfg, master)
+                      : runCampaignGoldenFork(params, cfg, master);
 }
 
 } // namespace fh::fault

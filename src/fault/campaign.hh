@@ -2,11 +2,18 @@
  * @file
  * Fault-injection campaign (Section 4): a master simulation advances
  * with the detector active (so the filters stay trained); at random
- * points the machine is forked into a golden copy, an unprotected
- * faulty copy (for masked/noisy/SDC classification), and — for SDC
- * faults — a protected faulty copy whose outcome decides coverage.
- * The campaign also bins uncovered SDC faults into the Figure 11
- * categories.
+ * points the machine is forked into an unprotected faulty copy (for
+ * masked/noisy/SDC classification) and — for SDC faults — a protected
+ * faulty copy whose outcome decides coverage. The campaign also bins
+ * uncovered SDC faults into the Figure 11 categories.
+ *
+ * The golden reference is not a third fork: the master's own advance
+ * past each trial's commit targets records a golden checkpoint
+ * (per-thread ArchState + per-segment memory digests) in a
+ * GoldenLedger, and forks are compared against that checkpoint in
+ * O(threads + segments). The legacy explicit golden fork survives
+ * behind CampaignConfig::forceGoldenFork for equivalence testing and
+ * for programs without the per-thread segment layout.
  *
  * Execution is sharded: the master advances serially between
  * injection points (cheap), each point is snapshotted into a trial
@@ -66,6 +73,50 @@ struct CampaignConfig
     unsigned threads = 0;
     /** Optional meter ticked once per completed trial (may be null). */
     exec::ProgressMeter *progress = nullptr;
+
+    /**
+     * Debug/equivalence flag: run the legacy per-trial golden fork
+     * instead of the golden checkpoint ledger. Classifications are
+     * identical either way (tests/test_golden_ledger.cc asserts it);
+     * the ledger is ~1 full fork per trial cheaper. Also forced
+     * automatically when the program lacks the one-segment-per-thread
+     * layout the ledger's master-as-golden argument needs. Settable
+     * via FH_GOLDEN_FORK=1 in the bench harnesses / fhsim / examples.
+     */
+    bool forceGoldenFork = false;
+};
+
+/**
+ * Where a campaign's wall time went, in nanoseconds: master advance +
+ * ledger upkeep ("golden" — in legacy mode, the per-trial golden
+ * forks), trial snapshot copies, the bare and protected faulty forks,
+ * and the state comparisons. Accumulated per-trial on the worker
+ * threads (each trial sums into its own CampaignResult, merged in
+ * trial order) plus producer-side terms added once at the end, so no
+ * synchronization is needed beyond the pool's wave barrier.
+ */
+struct CampaignPhases
+{
+    u64 snapshotNs = 0;  ///< machine copies + plan draws (producer)
+    u64 goldenNs = 0;    ///< golden ledger upkeep or golden forks
+    u64 bareNs = 0;      ///< unprotected faulty forks
+    u64 protectedNs = 0; ///< protected faulty forks
+    u64 compareNs = 0;   ///< arch/digest comparisons
+
+    u64 totalNs() const
+    {
+        return snapshotNs + goldenNs + bareNs + protectedNs + compareNs;
+    }
+
+    CampaignPhases &operator+=(const CampaignPhases &o)
+    {
+        snapshotNs += o.snapshotNs;
+        goldenNs += o.goldenNs;
+        bareNs += o.bareNs;
+        protectedNs += o.protectedNs;
+        compareNs += o.compareNs;
+        return *this;
+    }
 };
 
 /** Figure 11 bins for SDC faults. */
@@ -105,6 +156,7 @@ struct CampaignResult
     u64 uncovered = 0;
 
     SdcBins bins;
+    CampaignPhases phases; ///< wall-time breakdown (not a count)
 
     u64 covered() const { return recovered + detected; }
     double coverage() const
@@ -135,6 +187,7 @@ struct CampaignResult
         detected += o.detected;
         uncovered += o.uncovered;
         bins += o.bins;
+        phases += o.phases;
         return *this;
     }
 };

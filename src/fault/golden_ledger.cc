@@ -1,0 +1,136 @@
+#include "fault/golden_ledger.hh"
+
+#include "sim/logging.hh"
+
+namespace fh::fault
+{
+
+GoldenLedger::GoldenLedger(pipeline::Core &master)
+    : master_(master), watches_(master.numThreads())
+{
+}
+
+bool
+GoldenLedger::supports(const pipeline::Core &master,
+                       const isa::Program &prog)
+{
+    const auto segs = master.memory().segments();
+    const unsigned n = master.numThreads();
+    if (segs.size() != n || prog.threadBases.size() < n)
+        return false;
+    for (unsigned tid = 0; tid < n; ++tid) {
+        if (segs[tid].base != prog.baseOf(tid))
+            return false;
+    }
+    return true;
+}
+
+void
+GoldenLedger::finalizeThread(u32 slot, unsigned tid)
+{
+    Entry &e = entries_[slot];
+    e.arch[tid] = master_.archState(tid);
+    e.digests[tid] = master_.memory().segmentDigest(tid);
+    if (master_.trapOf(tid) != isa::Trap::None)
+        e.trapped = true;
+    fh_assert(e.remaining > 0, "ledger entry finalized twice");
+    --e.remaining;
+}
+
+u32
+GoldenLedger::open(const std::vector<u64> &targets)
+{
+    u32 slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<u32>(entries_.size());
+        entries_.emplace_back();
+    }
+
+    const unsigned n = master_.numThreads();
+    Entry &e = entries_[slot];
+    e.targets = targets;
+    e.arch.assign(n, {});
+    e.digests.assign(master_.memory().segmentCount(), 0);
+    e.trapped = false;
+    e.remaining = n;
+
+    for (unsigned tid = 0; tid < n; ++tid) {
+        if (master_.halted(tid) || master_.committed(tid) >= targets[tid]) {
+            // A golden fork would freeze (or already be halted) here
+            // without committing anything more on this thread.
+            finalizeThread(slot, tid);
+            continue;
+        }
+        fh_assert(watches_[tid].empty() ||
+                      watches_[tid].back().target <= targets[tid],
+                  "ledger targets must be nondecreasing per thread");
+        watches_[tid].push_back({slot, targets[tid]});
+    }
+    return slot;
+}
+
+void
+GoldenLedger::release(u32 slot)
+{
+    freeSlots_.push_back(slot);
+}
+
+void
+GoldenLedger::forceFinalizeAll()
+{
+    for (unsigned tid = 0; tid < watches_.size(); ++tid) {
+        auto &dq = watches_[tid];
+        while (!dq.empty()) {
+            finalizeThread(dq.front().slot, tid);
+            dq.pop_front();
+        }
+    }
+}
+
+bool
+GoldenLedger::matches(const Entry &e, const pipeline::Core &fork)
+{
+    for (unsigned tid = 0; tid < fork.numThreads(); ++tid) {
+        if (fork.archState(tid) != e.arch[tid])
+            return false;
+    }
+    const mem::Memory &m = fork.memory();
+    for (size_t s = 0; s < e.digests.size(); ++s) {
+        if (m.segmentDigest(s) != e.digests[s])
+            return false;
+    }
+    return true;
+}
+
+void
+GoldenLedger::onCommit(const pipeline::Core &core, unsigned tid)
+{
+    if (&core != &master_)
+        return; // a fork copied the observer pointer; ignore it
+    auto &dq = watches_[tid];
+    const u64 committed = core.committed(tid);
+    while (!dq.empty() && dq.front().target <= committed) {
+        finalizeThread(dq.front().slot, tid);
+        dq.pop_front();
+    }
+}
+
+void
+GoldenLedger::onThreadHalted(const pipeline::Core &core, unsigned tid)
+{
+    if (&core != &master_)
+        return;
+    // The thread will never commit again; every pending watch on it
+    // finalizes with the halted state — exactly what a golden fork
+    // frozen short of its target would have sampled.
+    auto &dq = watches_[tid];
+    while (!dq.empty()) {
+        finalizeThread(dq.front().slot, tid);
+        dq.pop_front();
+    }
+}
+
+} // namespace fh::fault

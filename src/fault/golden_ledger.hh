@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Golden checkpoint ledger: the fault campaign's replacement for the
+ * per-trial golden fork.
+ *
+ * The legacy classifier forked the master at every injection point
+ * and re-executed a fault-free ("golden") copy of the run window just
+ * to sample what correct architectural state looks like at the
+ * trial's per-thread commit targets. But the serially advancing
+ * master *is* that fault-free execution: every workload gives each
+ * SMT thread a private memory segment (guard gaps, r1-relative
+ * addressing), so a thread's committed values are a pure function of
+ * its own commit count — independent of scheduling, of the other
+ * threads, and of whether the detector is checking. The master
+ * crossing commit count N on thread t therefore has exactly the
+ * architectural register state, trap status and segment contents a
+ * frozen golden fork would show at target N.
+ *
+ * The ledger rides the master's retirement stream (CommitObserver):
+ * opening an entry registers one watch per thread at the trial's
+ * commit target; when the master crosses a watch the ledger samples
+ * that thread's ArchState, its segment's incremental content digest
+ * (mem::Memory::segmentDigest) and its trap status into the entry.
+ * Once every thread has crossed (or halted — a golden fork would
+ * freeze halted at the same count), the entry is complete and a
+ * worker can classify bare/protected forks against it with O(threads
+ * + segments) compares — no golden execution, no memory sweeps.
+ *
+ * Not thread-safe by design: all mutation happens on the producer
+ * thread between worker waves, and workers only read entries of
+ * trials whose windows the master has already fully crossed.
+ */
+
+#ifndef FH_FAULT_GOLDEN_LEDGER_HH
+#define FH_FAULT_GOLDEN_LEDGER_HH
+
+#include <deque>
+#include <vector>
+
+#include "isa/functional.hh"
+#include "pipeline/core.hh"
+#include "sim/types.hh"
+
+namespace fh::fault
+{
+
+/** See file comment. */
+class GoldenLedger final : public pipeline::CommitObserver
+{
+  public:
+    /**
+     * What a frozen golden fork of one trial would have looked like:
+     * per-thread architectural state at the trial's commit targets,
+     * per-segment memory digests (each sampled at its owner thread's
+     * crossing), and whether any thread trapped at or before its
+     * target.
+     */
+    struct Entry
+    {
+        std::vector<u64> targets;          ///< per SMT thread
+        std::vector<isa::ArchState> arch;  ///< per thread, at crossing
+        std::vector<u64> digests;          ///< per segment (== thread)
+        bool trapped = false;
+        unsigned remaining = 0; ///< threads not yet crossed
+    };
+
+    /** The ledger observes exactly this master (attach separately via
+     *  master.setCommitObserver(&ledger)). */
+    explicit GoldenLedger(pipeline::Core &master);
+
+    /**
+     * The master-as-golden argument needs the thread <-> segment
+     * bijection: one memory segment per SMT thread, in thread order,
+     * based at the thread's r1 data base. Campaigns on programs that
+     * break this (none of the built-in workloads do) fall back to the
+     * explicit golden fork.
+     */
+    static bool supports(const pipeline::Core &master,
+                         const isa::Program &prog);
+
+    /**
+     * Open an entry for a trial snapshotted at the master's current
+     * state, with the given per-thread commit targets (nondecreasing
+     * across successive opens, since targets are committed + window).
+     * Returns the entry's slot. Threads already halted finalize
+     * immediately.
+     */
+    u32 open(const std::vector<u64> &targets);
+
+    /** True once every thread crossed its target (entry readable). */
+    bool complete(u32 slot) const
+    {
+        return entries_[slot].remaining == 0;
+    }
+
+    const Entry &entry(u32 slot) const { return entries_[slot]; }
+
+    /** Return a classified trial's slot to the free list. */
+    void release(u32 slot);
+
+    /**
+     * Safety valve for a master that stops committing before the last
+     * windows close (cannot happen with the built-in workloads, which
+     * halt rather than hang): finalize every pending watch from the
+     * master's current state, mirroring how a hung golden fork would
+     * have been compared at its cycle bound.
+     */
+    void forceFinalizeAll();
+
+    /**
+     * Does a frozen fork match this golden checkpoint? Per-thread
+     * ArchState equality plus per-segment digest equality — the
+     * digest-based replacement for archEquals' full-memory sweep.
+     * Digest equality is taken as content equality (an XOR-multiset
+     * collision needs ~2^64 trials; see DESIGN.md).
+     */
+    static bool matches(const Entry &e, const pipeline::Core &fork);
+
+    // CommitObserver — fired by the master's commit stage.
+    void onCommit(const pipeline::Core &core, unsigned tid) override;
+    void onThreadHalted(const pipeline::Core &core,
+                        unsigned tid) override;
+
+  private:
+    struct Watch
+    {
+        u32 slot;
+        u64 target;
+    };
+
+    /** Sample thread tid's state from the master into an entry. */
+    void finalizeThread(u32 slot, unsigned tid);
+
+    pipeline::Core &master_;
+    std::vector<Entry> entries_;
+    std::vector<u32> freeSlots_;
+    /** Per-thread pending watches, FIFO by target (targets are
+     *  nondecreasing across opens, so crossing pops from the front). */
+    std::vector<std::deque<Watch>> watches_;
+};
+
+} // namespace fh::fault
+
+#endif // FH_FAULT_GOLDEN_LEDGER_HH

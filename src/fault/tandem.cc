@@ -29,7 +29,15 @@ runFork(pipeline::Core &&base, const InjectionPlan *plan,
         Cycle max_cycles)
 {
     ForkOutcome out{std::move(base), false, false};
+    // The fork is a copy of a (possibly observed) campaign master;
+    // the ledger must only ever see the master itself.
+    out.core.setCommitObserver(nullptr);
     out.core.setDetectorEnabled(detector_enabled);
+    // Classification forks (detector off) stop dead front-end work on
+    // threads frozen at their commit target; the protected fork keeps
+    // the full machine ticking so its detector statistics — which the
+    // Figure 11 binning reads — are untouched.
+    out.core.setQuiesceFrozen(!detector_enabled);
     // Freeze each thread at exactly its commit target so both tandem
     // copies sample architectural state at the same per-thread point.
     for (unsigned tid = 0; tid < out.core.numThreads(); ++tid)

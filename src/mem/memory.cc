@@ -83,7 +83,9 @@ Memory::write(Addr a, u64 value)
     if (!b)
         return AccessResult::Unmapped;
     detach(*b);
-    (*b->words)[(a - b->seg.base) / 8] = value;
+    u64 &w = (*b->words)[(a - b->seg.base) / 8];
+    b->digest ^= wordHash(a, w) ^ wordHash(a, value);
+    w = value;
     return AccessResult::Ok;
 }
 
@@ -100,7 +102,9 @@ Memory::poke(Addr a, u64 value)
     Backing *b = a % 8 == 0 ? find(a) : nullptr;
     if (b) {
         detach(*b);
-        (*b->words)[(a - b->seg.base) / 8] = value;
+        u64 &w = (*b->words)[(a - b->seg.base) / 8];
+        b->digest ^= wordHash(a, w) ^ wordHash(a, value);
+        w = value;
     }
 }
 
@@ -125,6 +129,8 @@ Memory::sameContents(const Memory &other) const
             return false;
         if (a.words == b.words)
             continue; // still sharing storage: trivially equal
+        if (a.digest != b.digest)
+            return false; // digests are content-determined
         if (*a.words != *b.words)
             return false;
     }

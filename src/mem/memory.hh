@@ -13,6 +13,14 @@
  * only bumps a reference count per segment, and the first write
  * through a shared backing detaches a private copy. A fork that never
  * writes a segment never pays for it.
+ *
+ * Each backing also carries an incremental content digest: an XOR
+ * multiset hash over (address, word) pairs of the nonzero words, kept
+ * up to date in O(1) per write. The digest is a pure function of the
+ * segment contents — independent of write order and of COW sharing —
+ * so two segments with different digests provably differ, and the
+ * tandem classifier can compare whole memories against a recorded
+ * golden checkpoint in O(segments) without sweeping any words.
  */
 
 #ifndef FH_MEM_MEMORY_HH
@@ -73,6 +81,17 @@ class Memory
     /** Total words across all declared segments. */
     size_t footprintWords() const;
 
+    /** Number of declared segments (digest index space). */
+    size_t segmentCount() const { return backings_.size(); }
+
+    /**
+     * Content digest of segment i (declaration order): XOR over the
+     * segment's nonzero words of wordHash(addr, word). Equal contents
+     * always give equal digests; unequal digests prove unequal
+     * contents. Maintained incrementally by write()/poke().
+     */
+    u64 segmentDigest(size_t i) const { return backings_[i].digest; }
+
     /** True if all segment contents match the other memory. */
     bool sameContents(const Memory &other) const;
 
@@ -82,13 +101,40 @@ class Memory
         return sameContents(other);
     }
 
+    /**
+     * Hash contribution of one (address, word) pair to a segment
+     * digest. Zero words contribute nothing, so a freshly declared
+     * (zero-filled) segment starts at digest 0 without a sweep.
+     */
+    static u64 wordHash(Addr a, u64 v)
+    {
+        if (v == 0)
+            return 0;
+        u64 x = v ^ mix64(a * 0x9e3779b97f4a7c15ULL);
+        return mix64(x);
+    }
+
   private:
+    /** splitmix64 finalizer: a cheap, well-mixing 64-bit permutation. */
+    static u64 mix64(u64 x)
+    {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return x;
+    }
+
     struct Backing
     {
         Segment seg;
         /** Shared until the first write after a copy; read-mostly
          *  forks of one machine state alias the same storage. */
         std::shared_ptr<std::vector<u64>> words;
+        /** XOR-multiset content digest; travels with the value (a
+         *  copied Memory keeps the digest even while sharing words). */
+        u64 digest = 0;
     };
 
     const Backing *find(Addr a) const;

@@ -134,9 +134,25 @@ Core::runUntilCommitted(const std::vector<u64> &targets, Cycle max_cycles)
         }
         return true;
     };
+    // A thread that is halted, or frozen at its stopAfterInsts
+    // boundary, will never commit again; once every thread is in that
+    // state no target can move, so ticking further only burns cycles.
+    auto all_frozen = [&] {
+        for (const ThreadState &ts : threads_) {
+            if (ts.halted)
+                continue;
+            if (ts.opts.stopAfterInsts == 0 ||
+                ts.committed < ts.opts.stopAfterInsts) {
+                return false;
+            }
+        }
+        return true;
+    };
     for (Cycle i = 0; i < max_cycles; ++i) {
         if (done())
-            return true;
+            return true; // return before ticking: no post-freeze cycles
+        if (all_frozen())
+            return done(); // frozen short of a target: hung, bail now
         tick();
     }
     return done();
@@ -276,6 +292,8 @@ Core::tryCommitHead(unsigned tid)
         ts.trap = e.trap;
         ts.halted = true;
         squashAllOf(tid);
+        if (observer_)
+            observer_->onThreadHalted(*this, tid);
         return false;
     }
 
@@ -287,6 +305,8 @@ Core::tryCommitHead(unsigned tid)
                           : isa::Trap::MemMisaligned;
             ts.halted = true;
             squashAllOf(tid);
+            if (observer_)
+                observer_->onThreadHalted(*this, tid);
             return false;
         }
     }
@@ -323,8 +343,14 @@ Core::tryCommitHead(unsigned tid)
         (ts.opts.maxInsts != 0 && ts.committed >= ts.opts.maxInsts)) {
         ts.halted = true;
         squashAllOf(tid);
+        if (observer_) {
+            observer_->onCommit(*this, tid);
+            observer_->onThreadHalted(*this, tid);
+        }
         return true;
     }
+    if (observer_)
+        observer_->onCommit(*this, tid);
     return true;
 }
 
@@ -734,6 +760,10 @@ Core::dispatchStage()
         unsigned tid = (static_cast<unsigned>(cycle_) + off) % n;
         ThreadState &ts = threads_[tid];
         Rob &rob = robs_[tid];
+        if (quiesceFrozen_ && ts.opts.stopAfterInsts != 0 &&
+            ts.committed >= ts.opts.stopAfterInsts) {
+            continue; // frozen thread: stop feeding the back end
+        }
         while (budget > 0 && !ts.halted && !ts.fetchQ.empty()) {
             FetchedInst &f = ts.fetchQ.front();
             if (f.availAt > cycle_)

@@ -109,6 +109,31 @@ struct ValueProbe
     bool operator==(const ValueProbe &other) const = default;
 };
 
+class Core;
+
+/**
+ * Passive observer of one core's retirement stream. The fault
+ * campaign's golden checkpoint ledger hangs off this to sample
+ * architectural state at exact per-thread commit counts, instead of
+ * re-executing a golden fork to reach the same points.
+ *
+ * Callbacks fire synchronously inside tick(), once per retired
+ * instruction (committed counts take every value — commits never skip
+ * a count, even with commitWidth > 1) and once when a thread halts,
+ * whether by committing a Halt / its maxInsts budget (after the
+ * matching onCommit) or by raising a trap (no commit). The observer
+ * must not mutate the core.
+ */
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+    /** Thread tid just retired one instruction. */
+    virtual void onCommit(const Core &core, unsigned tid) = 0;
+    /** Thread tid just halted (trap, Halt, or maxInsts). */
+    virtual void onThreadHalted(const Core &core, unsigned tid) = 0;
+};
+
 /** The core. See file comment. */
 class Core
 {
@@ -176,6 +201,27 @@ class Core
      *  disable them without changing the trained filter state). */
     void setDetectorEnabled(bool enabled) { detectorEnabled_ = enabled; }
     bool detectorEnabled() const { return detectorEnabled_; }
+
+    /**
+     * Attach a retirement-stream observer (null detaches). The pointer
+     * is borrowed, not owned, and is copied along with the core, so a
+     * fork of an observed master must detach before ticking (runFork
+     * does) — otherwise the observer would see a foreign core.
+     */
+    void setCommitObserver(CommitObserver *obs) { observer_ = obs; }
+
+    /**
+     * When set, threads frozen at their stopAfterInsts boundary also
+     * stop dispatching: their already-fetched instructions stop
+     * entering the ROB/IQ and consuming physical registers. Frozen
+     * threads never commit again, so this cannot change any
+     * architectural outcome — it only stops dead front-end work.
+     * Issue/complete still drain in-flight entries (so shared IQ slots
+     * are released), and fetch already skips frozen threads. Off by
+     * default; the tandem classification forks (detector disabled)
+     * turn it on.
+     */
+    void setQuiesceFrozen(bool on) { quiesceFrozen_ = on; }
 
     /** True once a singleton re-execute comparison declared a fault. */
     bool faultDetected() const { return faultDetected_; }
@@ -303,6 +349,8 @@ class Core
     filters::Detector detector_;
     bool detectorEnabled_ = true;
     bool faultDetected_ = false;
+    bool quiesceFrozen_ = false;
+    CommitObserver *observer_ = nullptr;
 
     std::vector<RenameMap> renames_;
     std::vector<Rob> robs_;

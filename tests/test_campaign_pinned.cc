@@ -67,25 +67,32 @@ TEST_P(CampaignPinned, ResultsMatchRecordedCounts)
     cfg.injections = c.injections;
     cfg.window = 300;
     cfg.seed = c.seed;
-    cfg.threads = 1;
 
-    const fault::CampaignResult r =
-        fault::runCampaign(params, &program, cfg);
+    // The recorded counts must hold for any worker-thread count: the
+    // golden-ledger waves shard trials differently at 1 and 4 threads
+    // but merge results in trial order.
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        cfg.threads = threads;
 
-    EXPECT_EQ(r.injected, c.injections);
-    EXPECT_EQ(r.masked, c.masked);
-    EXPECT_EQ(r.noisy, c.noisy);
-    EXPECT_EQ(r.sdc, c.sdc);
-    EXPECT_EQ(r.recovered, c.recovered);
-    EXPECT_EQ(r.detected, c.detected);
-    EXPECT_EQ(r.uncovered, c.uncovered);
-    EXPECT_EQ(r.bins.covered, c.covered);
-    EXPECT_EQ(r.bins.secondLevelMasked, c.secondLevelMasked);
-    EXPECT_EQ(r.bins.completedReg, c.completedReg);
-    EXPECT_EQ(r.bins.archReg, c.archReg);
-    EXPECT_EQ(r.bins.renameUncovered, c.renameUncovered);
-    EXPECT_EQ(r.bins.noTrigger, c.noTrigger);
-    EXPECT_EQ(r.bins.other, c.other);
+        const fault::CampaignResult r =
+            fault::runCampaign(params, &program, cfg);
+
+        EXPECT_EQ(r.injected, c.injections);
+        EXPECT_EQ(r.masked, c.masked);
+        EXPECT_EQ(r.noisy, c.noisy);
+        EXPECT_EQ(r.sdc, c.sdc);
+        EXPECT_EQ(r.recovered, c.recovered);
+        EXPECT_EQ(r.detected, c.detected);
+        EXPECT_EQ(r.uncovered, c.uncovered);
+        EXPECT_EQ(r.bins.covered, c.covered);
+        EXPECT_EQ(r.bins.secondLevelMasked, c.secondLevelMasked);
+        EXPECT_EQ(r.bins.completedReg, c.completedReg);
+        EXPECT_EQ(r.bins.archReg, c.archReg);
+        EXPECT_EQ(r.bins.renameUncovered, c.renameUncovered);
+        EXPECT_EQ(r.bins.noTrigger, c.noTrigger);
+        EXPECT_EQ(r.bins.other, c.other);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

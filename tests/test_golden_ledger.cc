@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Equivalence guard for the golden checkpoint ledger: a campaign
+ * classified against the master's ledger checkpoints must produce the
+ * exact CampaignResult of the legacy per-trial golden fork
+ * (CampaignConfig::forceGoldenFork), on multiple workloads and
+ * schemes, for 1 and 4 worker threads. Also pins the fork runtime's
+ * no-post-freeze-ticks guarantee that the ledger's throughput win
+ * partly rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+#include "fault/golden_ledger.hh"
+#include "fault/tandem.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace fh;
+
+fault::CampaignResult
+runOnce(const char *bench, const filters::DetectorParams &det, u64 seed,
+        bool force_golden_fork, unsigned threads)
+{
+    workload::WorkloadSpec spec;
+    spec.maxThreads = 2;
+    spec.footprintDivider = 64;
+    isa::Program program = workload::build(bench, spec);
+
+    pipeline::CoreParams params;
+    params.detector = det;
+
+    fault::CampaignConfig cfg;
+    cfg.injections = 28;
+    cfg.window = 250;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    cfg.forceGoldenFork = force_golden_fork;
+    return fault::runCampaign(params, &program, cfg);
+}
+
+void
+expectSameCounts(const fault::CampaignResult &a,
+                 const fault::CampaignResult &b)
+{
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.noisy, b.noisy);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.uncovered, b.uncovered);
+    EXPECT_EQ(a.bins.covered, b.bins.covered);
+    EXPECT_EQ(a.bins.secondLevelMasked, b.bins.secondLevelMasked);
+    EXPECT_EQ(a.bins.completedReg, b.bins.completedReg);
+    EXPECT_EQ(a.bins.archReg, b.bins.archReg);
+    EXPECT_EQ(a.bins.renameUncovered, b.bins.renameUncovered);
+    EXPECT_EQ(a.bins.noTrigger, b.bins.noTrigger);
+    EXPECT_EQ(a.bins.other, b.bins.other);
+}
+
+struct LedgerCase
+{
+    const char *label;
+    const char *bench;
+    filters::DetectorParams detector;
+    u64 seed;
+};
+
+class LedgerEquivalence : public testing::TestWithParam<LedgerCase>
+{
+};
+
+TEST_P(LedgerEquivalence, MatchesExplicitGoldenFork)
+{
+    const LedgerCase &c = GetParam();
+    const auto forked = runOnce(c.bench, c.detector, c.seed,
+                                /*force_golden_fork=*/true, 1);
+    const auto ledger = runOnce(c.bench, c.detector, c.seed,
+                                /*force_golden_fork=*/false, 1);
+    expectSameCounts(forked, ledger);
+    // The worker count shards wave execution differently but must not
+    // change a single count either way.
+    const auto ledger4 = runOnce(c.bench, c.detector, c.seed,
+                                 /*force_golden_fork=*/false, 4);
+    expectSameCounts(forked, ledger4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, LedgerEquivalence,
+    testing::Values(
+        LedgerCase{"ocean_faulthound", "ocean",
+                   filters::DetectorParams::faultHound(), 1234},
+        LedgerCase{"ocean_unprotected", "ocean",
+                   filters::DetectorParams::none(), 42},
+        LedgerCase{"volrend_faulthound", "volrend",
+                   filters::DetectorParams::faultHound(), 7},
+        LedgerCase{"gamess_pbfs_biased", "416.gamess",
+                   filters::DetectorParams::pbfsBiased(), 99}),
+    [](const testing::TestParamInfo<LedgerCase> &pinfo) {
+        return std::string(pinfo.param.label);
+    });
+
+TEST(GoldenLedger, SupportsBuiltInWorkloadLayout)
+{
+    workload::WorkloadSpec spec;
+    spec.maxThreads = 2;
+    spec.footprintDivider = 64;
+    isa::Program program = workload::build("ocean", spec);
+    pipeline::CoreParams params;
+    pipeline::Core core(params, &program);
+    EXPECT_TRUE(fault::GoldenLedger::supports(core, program));
+    EXPECT_EQ(core.memory().segmentCount(),
+              static_cast<size_t>(core.numThreads()));
+}
+
+// Regression: once every thread is frozen at its stopAfterInsts
+// boundary (or halted), runUntilCommitted must return without ticking
+// — fork cycle counts may not include post-freeze cycles.
+TEST(GoldenLedger, NoTicksAfterAllThreadsFrozen)
+{
+    workload::WorkloadSpec spec;
+    spec.maxThreads = 2;
+    spec.footprintDivider = 64;
+    isa::Program program = workload::build("ocean", spec);
+    pipeline::CoreParams params;
+    pipeline::Core core(params, &program);
+
+    std::vector<u64> targets(core.numThreads());
+    for (unsigned tid = 0; tid < core.numThreads(); ++tid) {
+        targets[tid] = core.committed(tid) + 200;
+        core.threadOptions(tid).stopAfterInsts = targets[tid];
+    }
+    ASSERT_TRUE(core.runUntilCommitted(targets, 1000000));
+    const Cycle frozen_at = core.cycle();
+    const u64 stat_cycles = core.stats().cycles;
+
+    // Re-running against the same (met) targets must be a no-op.
+    EXPECT_TRUE(core.runUntilCommitted(targets, 1000000));
+    EXPECT_EQ(core.cycle(), frozen_at);
+    EXPECT_EQ(core.stats().cycles, stat_cycles);
+
+    // Raising the targets while the freeze points stay put can never
+    // make progress; the runtime must bail immediately instead of
+    // burning the whole cycle bound.
+    std::vector<u64> beyond = targets;
+    for (u64 &t : beyond)
+        t += 100;
+    EXPECT_FALSE(core.runUntilCommitted(beyond, 1000000));
+    EXPECT_EQ(core.cycle(), frozen_at);
+    EXPECT_EQ(core.stats().cycles, stat_cycles);
+}
+
+} // namespace

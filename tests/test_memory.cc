@@ -93,3 +93,78 @@ TEST(Memory, CopyIsIndependent)
     EXPECT_EQ(a.peek(0x1000), 1u);
     EXPECT_EQ(b.peek(0x1000), 2u);
 }
+
+// ---- Incremental per-segment content digests (golden ledger) ----
+
+namespace
+{
+
+/** Recompute a segment's digest from scratch through the public
+ *  contract: XOR of wordHash(addr, word) over nonzero words. */
+u64
+referenceDigest(const Memory &m, const Segment &seg)
+{
+    u64 d = 0;
+    for (Addr a = seg.base; a < seg.base + seg.size; a += 8)
+        d ^= Memory::wordHash(a, m.peek(a));
+    return d;
+}
+
+} // namespace
+
+TEST(MemoryDigest, FreshSegmentDigestsToZero)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    ASSERT_EQ(m.segmentCount(), 1u);
+    EXPECT_EQ(m.segmentDigest(0), 0u);
+}
+
+TEST(MemoryDigest, TracksWritesIncrementally)
+{
+    Memory m;
+    m.addSegment(0x1000, 0x100);
+    m.addSegment(0x9000, 0x200);
+    const auto segs = m.segments();
+    m.write(0x1008, 42);
+    m.write(0x1010, 7);
+    m.poke(0x9008, 99);
+    m.write(0x1008, 43); // overwrite: old contribution must cancel
+    for (size_t i = 0; i < m.segmentCount(); ++i)
+        EXPECT_EQ(m.segmentDigest(i), referenceDigest(m, segs[i]));
+}
+
+TEST(MemoryDigest, ContentDeterminedRegardlessOfHistory)
+{
+    // Two memories reach the same contents along different write
+    // sequences; the digests must agree (XOR multiset property).
+    Memory a, b;
+    a.addSegment(0x1000, 0x100);
+    b.addSegment(0x1000, 0x100);
+    a.write(0x1000, 1);
+    a.write(0x1008, 2);
+    a.write(0x1000, 5);
+    b.write(0x1008, 9);
+    b.write(0x1008, 2);
+    b.write(0x1000, 5);
+    EXPECT_EQ(a.segmentDigest(0), b.segmentDigest(0));
+    // Writing a word back to zero restores the fresh digest.
+    a.write(0x1000, 0);
+    a.write(0x1008, 0);
+    EXPECT_EQ(a.segmentDigest(0), 0u);
+}
+
+TEST(MemoryDigest, UnequalDigestsProveUnequalContents)
+{
+    Memory a;
+    a.addSegment(0x1000, 0x100);
+    a.write(0x1018, 3);
+    Memory b = a; // COW copy: shares words AND digest
+    EXPECT_EQ(a.segmentDigest(0), b.segmentDigest(0));
+    b.write(0x1018, 4);
+    EXPECT_NE(a.segmentDigest(0), b.segmentDigest(0));
+    EXPECT_FALSE(a.sameContents(b));
+    b.write(0x1018, 3); // converge again (COW already detached)
+    EXPECT_EQ(a.segmentDigest(0), b.segmentDigest(0));
+    EXPECT_TRUE(a.sameContents(b));
+}
