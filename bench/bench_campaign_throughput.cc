@@ -160,8 +160,14 @@ main()
     std::fprintf(out, "    \"sdc\": %llu,\n", u(r.sdc));
     std::fprintf(out, "    \"recovered\": %llu,\n", u(r.recovered));
     std::fprintf(out, "    \"detected\": %llu,\n", u(r.detected));
-    std::fprintf(out, "    \"uncovered\": %llu\n", u(r.uncovered));
-    std::fprintf(out, "  }\n");
+    std::fprintf(out, "    \"uncovered\": %llu,\n", u(r.uncovered));
+    std::fprintf(out, "    \"trial_errors\": %llu,\n", u(r.trialErrors));
+    std::fprintf(out, "    \"hung_bare\": %llu,\n", u(r.hungBare));
+    std::fprintf(out, "    \"hung_protected\": %llu\n",
+                 u(r.hungProtected));
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"partial\": %s\n",
+                 r.partial ? "true" : "false");
     std::fprintf(out, "}\n");
     if (out != stdout)
         std::fclose(out);

@@ -13,6 +13,12 @@
  *   FH_GOLDEN_FORK set to 1 to run campaigns with the legacy explicit
  *                  golden fork instead of the golden checkpoint
  *                  ledger (same counts, ~1 extra fork per trial)
+ *   FH_JOURNAL     trial-journal path; an interrupted campaign rerun
+ *                  with the same config resumes from the journal
+ *                  (single-campaign harnesses only — harnesses that
+ *                  run many campaign cells would contend for the file)
+ *   FH_TRIAL_TIMEOUT_MS  per-trial wall-clock budget; overruns are
+ *                  isolated and counted as trial errors
  *
  * The campaign-heavy harnesses additionally parallelize across their
  * independent scheme/size/benchmark cells, splitting the FH_THREADS
@@ -206,6 +212,20 @@ campaignConfig()
     cfg.seed = envU64("FH_SEED", 1);
     cfg.threads = static_cast<unsigned>(envU64("FH_THREADS", 0));
     cfg.forceGoldenFork = envU64("FH_GOLDEN_FORK", 0) != 0;
+    cfg.trialTimeoutMs = envU64("FH_TRIAL_TIMEOUT_MS", 0);
+    return cfg;
+}
+
+/**
+ * campaignConfig() plus FH_JOURNAL, for harnesses that run exactly
+ * one campaign (the journal is keyed to one config; concurrent cells
+ * would clobber each other's files).
+ */
+inline fault::CampaignConfig
+campaignConfigJournaled()
+{
+    fault::CampaignConfig cfg = campaignConfig();
+    cfg.journalPath = envStr("FH_JOURNAL", "");
     return cfg;
 }
 

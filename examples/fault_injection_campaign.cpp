@@ -15,92 +15,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "exec/interrupt.hh"
 #include "exec/progress.hh"
 #include "exec/thread_pool.hh"
 #include "fault/campaign.hh"
+#include "fault/campaign_json.hh"
 #include "workload/workload.hh"
 
 using namespace fh;
-
-namespace
-{
-
-/**
- * Machine-readable result record (FH_JSON=<path>, or "-" for stdout):
- * the campaign configuration, the classification counts, and the
- * throughput headline, in the same shape as BENCH_filters.json so CI
- * and scripts can diff runs against the committed baseline.
- */
-void
-writeJson(const char *path, const char *bench, unsigned workers,
-          const fault::CampaignConfig &cfg, const fault::CampaignResult &r,
-          double seconds)
-{
-    std::FILE *out = std::strcmp(path, "-") == 0 ? stdout
-                                                 : std::fopen(path, "w");
-    if (!out) {
-        std::fprintf(stderr, "cannot write FH_JSON file %s\n", path);
-        return;
-    }
-    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"benchmark\": \"%s\",\n", bench);
-    std::fprintf(out, "  \"seed\": %llu,\n", u(cfg.seed));
-    std::fprintf(out, "  \"injections\": %llu,\n", u(cfg.injections));
-    std::fprintf(out, "  \"window\": %llu,\n", u(cfg.window));
-    std::fprintf(out, "  \"worker_threads\": %u,\n", workers);
-    std::fprintf(out, "  \"elapsed_seconds\": %.3f,\n", seconds);
-    std::fprintf(out, "  \"trials_per_second\": %.1f,\n",
-                 seconds > 0 ? static_cast<double>(r.injected) / seconds
-                             : 0.0);
-    std::fprintf(out, "  \"classification\": {\n");
-    std::fprintf(out, "    \"injected\": %llu,\n", u(r.injected));
-    std::fprintf(out, "    \"masked\": %llu,\n", u(r.masked));
-    std::fprintf(out, "    \"noisy\": %llu,\n", u(r.noisy));
-    std::fprintf(out, "    \"sdc\": %llu,\n", u(r.sdc));
-    std::fprintf(out, "    \"recovered\": %llu,\n", u(r.recovered));
-    std::fprintf(out, "    \"detected\": %llu,\n", u(r.detected));
-    std::fprintf(out, "    \"uncovered\": %llu\n", u(r.uncovered));
-    std::fprintf(out, "  },\n");
-    std::fprintf(out, "  \"bins\": {\n");
-    std::fprintf(out, "    \"covered\": %llu,\n", u(r.bins.covered));
-    std::fprintf(out, "    \"second_level_masked\": %llu,\n",
-                 u(r.bins.secondLevelMasked));
-    std::fprintf(out, "    \"completed_reg\": %llu,\n",
-                 u(r.bins.completedReg));
-    std::fprintf(out, "    \"arch_reg\": %llu,\n", u(r.bins.archReg));
-    std::fprintf(out, "    \"rename_uncovered\": %llu,\n",
-                 u(r.bins.renameUncovered));
-    std::fprintf(out, "    \"no_trigger\": %llu,\n", u(r.bins.noTrigger));
-    std::fprintf(out, "    \"other\": %llu\n", u(r.bins.other));
-    std::fprintf(out, "  },\n");
-    // Wall-time phase breakdown: master advance + golden checkpoint
-    // ledger, snapshot copies, the two faulty forks, and the
-    // arch/digest comparisons.
-    const fault::CampaignPhases &p = r.phases;
-    const double total =
-        static_cast<double>(p.totalNs() ? p.totalNs() : 1);
-    auto pct = [&](u64 ns) {
-        return 100.0 * static_cast<double>(ns) / total;
-    };
-    std::fprintf(out,
-                 "  \"phases_ns\": { \"snapshot\": %llu, \"golden\": "
-                 "%llu, \"bare\": %llu, \"protected\": %llu, "
-                 "\"compare\": %llu },\n",
-                 u(p.snapshotNs), u(p.goldenNs), u(p.bareNs),
-                 u(p.protectedNs), u(p.compareNs));
-    std::fprintf(out,
-                 "  \"phases_pct\": { \"snapshot\": %.1f, \"golden\": "
-                 "%.1f, \"bare\": %.1f, \"protected\": %.1f, "
-                 "\"compare\": %.1f }\n",
-                 pct(p.snapshotNs), pct(p.goldenNs), pct(p.bareNs),
-                 pct(p.protectedNs), pct(p.compareNs));
-    std::fprintf(out, "}\n");
-    if (out != stdout)
-        std::fclose(out);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -127,6 +49,13 @@ main(int argc, char **argv)
         env_threads ? std::strtoul(env_threads, nullptr, 0) : 0);
     if (const char *gf = std::getenv("FH_GOLDEN_FORK"))
         cfg.forceGoldenFork = std::strtoul(gf, nullptr, 0) != 0;
+    // Resilience knobs: FH_JOURNAL names a trial journal (rerun with
+    // the same config to resume an interrupted campaign), and
+    // FH_TRIAL_TIMEOUT_MS bounds each trial's wall time.
+    if (const char *j = std::getenv("FH_JOURNAL"))
+        cfg.journalPath = j;
+    if (const char *t = std::getenv("FH_TRIAL_TIMEOUT_MS"))
+        cfg.trialTimeoutMs = std::strtoull(t, nullptr, 0);
     if (argc > 2)
         cfg.threads =
             static_cast<unsigned>(std::strtoul(argv[2], nullptr, 0));
@@ -137,6 +66,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.injections),
                 prog.name.c_str(), exec::resolveThreads(cfg.threads));
 
+    exec::installShutdownHandlers();
     exec::ProgressMeter meter(std::string(bench_name) + " campaign",
                               cfg.injections);
     cfg.progress = &meter;
@@ -150,8 +80,9 @@ main(int argc, char **argv)
     meter.finish();
 
     if (env_json) {
-        writeJson(env_json, bench_name, exec::resolveThreads(cfg.threads),
-                  cfg, r, seconds);
+        fault::writeCampaignJson(env_json, bench_name,
+                                 exec::resolveThreads(cfg.threads), cfg,
+                                 r, seconds);
     }
 
     auto pct = [&](u64 n, u64 d) {
@@ -191,5 +122,15 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.bins.noTrigger));
     std::printf("  other                          : %llu\n",
                 static_cast<unsigned long long>(r.bins.other));
+    if (r.trialErrors)
+        std::printf("\n%llu trial(s) isolated after in-fork errors "
+                    "(see warnings above for repro plans)\n",
+                    static_cast<unsigned long long>(r.trialErrors));
+    if (r.partial) {
+        std::printf("\ncampaign interrupted after %llu trials; rerun "
+                    "with the same FH_JOURNAL to resume\n",
+                    static_cast<unsigned long long>(r.injected));
+        return 130;
+    }
     return 0;
 }

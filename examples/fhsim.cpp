@@ -23,19 +23,38 @@
  *   window         campaign run window            (1000)
  *   jobs           host worker threads for the campaign forks;
  *                  0 = all hardware threads       (0)
+ *   golden_fork    force the legacy golden-fork loop (false)
+ *   journal        trial-journal path for checkpoint/resume; an
+ *                  interrupted campaign rerun with the same config
+ *                  and journal resumes where it stopped     (off)
+ *   trial_timeout_ms  wall-clock budget per trial; overruns are
+ *                  classified as trial errors     (0 = off)
+ *   json           write the FH_JSON campaign record here
+ *                  ("-" = stdout)                 (off)
+ *
+ * Unknown keys are fatal: `injectons=5000` should refuse to run, not
+ * silently run the default campaign.
+ *
+ * SIGINT/SIGTERM stop new trials, drain the in-flight wave, flush the
+ * journal, and emit the (partial-flagged) outputs; exit code 130.
  *
  * Example:
  *   fhsim bench=429.mcf scheme=pbfs-biased insts=200000
- *   fhsim bench=apache campaign=true injections=500 jobs=8
+ *   fhsim bench=apache campaign=true injections=500 jobs=8 \
+ *         journal=apache.fhj
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "exec/interrupt.hh"
 #include "exec/progress.hh"
 #include "exec/thread_pool.hh"
 #include "fault/campaign.hh"
+#include "fault/campaign_json.hh"
 #include "energy/energy_model.hh"
 #include "pipeline/stats_dump.hh"
 #include "sim/config.hh"
@@ -90,6 +109,30 @@ main(int argc, char **argv)
                          arg.c_str());
             return 1;
         }
+    }
+
+    // Campaign keys are only read when campaign=true; declare them so
+    // the typo check below doesn't flag legitimate options, then
+    // refuse to run with anything unrecognised (a misspelt key
+    // silently running a default campaign wastes hours).
+    for (const char *key : {"injections", "window", "jobs",
+                            "golden_fork", "journal",
+                            "trial_timeout_ms", "json"})
+        cfg.declareKey(key);
+    cfg.declareKey("campaign");
+    for (const char *key : {"bench", "scheme", "threads", "seed",
+                            "insts", "tcam.entries", "tcam.threshold",
+                            "delay_buffer"})
+        cfg.declareKey(key);
+    const auto unknown = cfg.unknownKeys();
+    if (!unknown.empty()) {
+        for (const auto &key : unknown)
+            std::fprintf(stderr, "fhsim: unknown option '%s'\n",
+                         key.c_str());
+        std::fprintf(stderr,
+                     "fhsim: refusing to run with unrecognised "
+                     "options; see the file header for the list\n");
+        return 1;
     }
 
     const std::string bench = cfg.getString("bench", "400.perl");
@@ -153,13 +196,24 @@ main(int argc, char **argv)
         ccfg.threads =
             static_cast<unsigned>(cfg.getU64("jobs", 0));
         ccfg.forceGoldenFork = cfg.getBool("golden_fork", false);
+        ccfg.journalPath = cfg.getString("journal", "");
+        if (const char *env = std::getenv("FH_JOURNAL");
+            env && *env && ccfg.journalPath.empty())
+            ccfg.journalPath = env;
+        ccfg.trialTimeoutMs = cfg.getU64("trial_timeout_ms", 0);
+        exec::installShutdownHandlers();
         exec::ProgressMeter meter("fhsim campaign", ccfg.injections);
         ccfg.progress = &meter;
         std::fprintf(stderr, "fhsim: running %llu-injection "
                              "campaign on %u worker threads...\n",
                      static_cast<unsigned long long>(ccfg.injections),
                      exec::resolveThreads(ccfg.threads));
+        const auto t0 = std::chrono::steady_clock::now();
         auto r = fault::runCampaign(params, &prog, ccfg);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         meter.finish();
         std::printf("%-34s%-16.4f# fraction of injections\n",
                     "campaign.masked", r.maskedFrac());
@@ -169,6 +223,20 @@ main(int argc, char **argv)
                     "campaign.sdc", r.sdcFrac());
         std::printf("%-34s%-16.4f# of SDC faults\n",
                     "campaign.coverage", r.coverage());
+        std::printf("%-34s%-16llu# trials isolated after in-fork "
+                    "errors\n",
+                    "campaign.trial_errors",
+                    static_cast<unsigned long long>(r.trialErrors));
+        std::printf("%-34s%-16llu# bare forks past forkMaxCycles\n",
+                    "campaign.hung_bare",
+                    static_cast<unsigned long long>(r.hungBare));
+        std::printf("%-34s%-16llu# protected forks past "
+                    "forkMaxCycles\n",
+                    "campaign.hung_protected",
+                    static_cast<unsigned long long>(r.hungProtected));
+        std::printf("%-34s%-16d# 1 = interrupted, counters are a "
+                    "prefix\n",
+                    "campaign.partial", r.partial ? 1 : 0);
         // Wall-time phase split goes to stderr with the other
         // diagnostics: stdout stays byte-identical across runs and
         // worker counts (the determinism suite diffs it).
@@ -185,6 +253,22 @@ main(int argc, char **argv)
                      static_cast<double>(p.totalNs()) * 1e-9,
                      pct(p.snapshotNs), pct(p.goldenNs), pct(p.bareNs),
                      pct(p.protectedNs), pct(p.compareNs));
+        std::string json = cfg.getString("json", "");
+        if (const char *env = std::getenv("FH_JSON");
+            env && *env && json.empty())
+            json = env;
+        if (!json.empty())
+            fault::writeCampaignJson(json, bench,
+                                     exec::resolveThreads(ccfg.threads),
+                                     ccfg, r, seconds);
+        if (r.partial) {
+            std::fprintf(stderr,
+                         "fhsim: campaign interrupted after %llu "
+                         "trials; rerun with the same journal to "
+                         "resume\n",
+                         static_cast<unsigned long long>(r.injected));
+            return 130;
+        }
     }
     return 0;
 }

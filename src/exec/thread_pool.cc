@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace fh::exec
 {
 
@@ -46,13 +48,30 @@ ThreadPool::runChunks(Job &job)
         if (begin >= job.n)
             return;
         const u64 end = std::min(job.n, begin + job.grain);
-        try {
-            for (u64 i = begin; i < end; ++i)
-                (*job.body)(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!job.error)
-                job.error = std::current_exception();
+        if (job.aborted.load(std::memory_order_acquire)) {
+            // A body already failed: drain the remaining index space
+            // without executing it, but account for it as skipped —
+            // not silently "done" — so the caller can report how much
+            // of the loop never ran.
+            job.skipped.fetch_add(end - begin,
+                                  std::memory_order_relaxed);
+        } else {
+            u64 i = begin;
+            try {
+                for (; i < end; ++i)
+                    (*job.body)(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!job.error)
+                        job.error = std::current_exception();
+                }
+                // The rest of this chunk is abandoned too (the index
+                // that threw counts as executed, not skipped).
+                job.skipped.fetch_add(end - i - 1,
+                                      std::memory_order_relaxed);
+                job.aborted.store(true, std::memory_order_release);
+            }
         }
         if (job.done.fetch_add(end - begin) + (end - begin) >= job.n) {
             // Last chunk: wake the caller blocked in parallelFor.
@@ -89,10 +108,25 @@ ThreadPool::parallelFor(u64 n, u64 grain,
 {
     if (n == 0)
         return;
+    lastSkipped_ = 0;
     grain = std::max<u64>(1, grain);
     if (nthreads_ == 1 || n == 1) {
-        for (u64 i = 0; i < n; ++i)
-            body(i);
+        // Inline path: an exception propagates directly; the indices
+        // after it were never claimed, which is the same "skipped"
+        // accounting the pooled path reports.
+        u64 i = 0;
+        try {
+            for (; i < n; ++i)
+                body(i);
+        } catch (...) {
+            lastSkipped_ = n - i - 1;
+            if (lastSkipped_)
+                fh_warn("parallelFor aborted by an exception: %llu of "
+                        "%llu indices skipped",
+                        static_cast<unsigned long long>(lastSkipped_),
+                        static_cast<unsigned long long>(n));
+            throw;
+        }
         return;
     }
 
@@ -119,8 +153,15 @@ ThreadPool::parallelFor(u64 n, u64 grain,
         job_ = nullptr;
     }
 
-    if (job.error)
+    if (job.error) {
+        lastSkipped_ = job.skipped.load(std::memory_order_relaxed);
+        if (lastSkipped_)
+            fh_warn("parallelFor aborted by an exception: %llu of %llu "
+                    "indices skipped",
+                    static_cast<unsigned long long>(lastSkipped_),
+                    static_cast<unsigned long long>(job.n));
         std::rethrow_exception(job.error);
+    }
 }
 
 void

@@ -53,9 +53,13 @@ class ThreadPool
 
     /**
      * Run body(i) for every i in [0, n), handing out chunks of grain
-     * consecutive indices; blocks until every index has run. The
-     * first exception thrown by any body is rethrown here after the
-     * remaining chunks finish.
+     * consecutive indices; blocks until the loop is fully drained.
+     * The first exception thrown by any body is rethrown here. Once a
+     * failure is latched no further index runs: workers fast-forward
+     * through the remaining chunks, counting them as skipped rather
+     * than silently "done" — the count is reported via lastSkipped()
+     * (and a warning) alongside the rethrown exception, so a caller
+     * knows exactly how much of the loop never executed.
      */
     void parallelFor(u64 n, u64 grain,
                      const std::function<void(u64)> &body);
@@ -64,11 +68,19 @@ class ThreadPool
         parallelFor(n, 1, body);
     }
 
+    /**
+     * Indices of the most recent parallelFor that were abandoned
+     * because an earlier body threw (0 after a clean loop).
+     */
+    u64 lastSkipped() const { return lastSkipped_; }
+
   private:
     struct Job
     {
         std::atomic<u64> next{0}; ///< first unclaimed index
-        std::atomic<u64> done{0}; ///< indices fully executed
+        std::atomic<u64> done{0}; ///< indices executed or skipped
+        std::atomic<u64> skipped{0};      ///< abandoned after a failure
+        std::atomic<bool> aborted{false}; ///< a body threw; stop work
         u64 n = 0;
         u64 grain = 1;
         const std::function<void(u64)> *body = nullptr;
@@ -88,6 +100,7 @@ class ThreadPool
     u64 generation_ = 0;           ///< bumped once per posted job
     unsigned busy_ = 0;            ///< workers inside runChunks
     bool stop_ = false;
+    u64 lastSkipped_ = 0;          ///< see lastSkipped()
 };
 
 /** One-shot parallelFor on a transient pool. */

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "exec/interrupt.hh"
 #include "exec/progress.hh"
 #include "exec/thread_pool.hh"
 #include "fault/golden_ledger.hh"
+#include "fault/journal.hh"
+#include "sim/error.hh"
 #include "sim/logging.hh"
 
 namespace fh::fault
@@ -61,6 +65,7 @@ struct Trial
     std::vector<u64> targets;
     pipeline::PregPhase phase;
     filters::DetectorStats masterStats;
+    u64 index = 0; ///< campaign trial number (journal key, repro id)
 };
 
 /**
@@ -124,7 +129,8 @@ classifyProtected(CampaignResult &r, const Trial &t,
  */
 CampaignResult
 runTrialGoldenFork(const pipeline::CoreParams &params,
-                   const CampaignConfig &cfg, Trial &t)
+                   const CampaignConfig &cfg, Trial &t,
+                   const ForkDeadline *deadline)
 {
     CampaignResult r;
     ++r.injected;
@@ -132,16 +138,18 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
     // Golden fork: no fault, detector checks off (architecturally
     // identical to a protected run; faster).
     auto t0 = PhaseClock::now();
-    ForkOutcome golden =
-        runFork(t.master, nullptr, false, t.targets, cfg.forkMaxCycles);
+    ForkOutcome golden = runFork(t.master, nullptr, false, t.targets,
+                                 cfg.forkMaxCycles, deadline);
     r.phases.goldenNs += nsSince(t0);
 
     // Unprotected faulty fork: classifies the fault itself.
     t0 = PhaseClock::now();
-    ForkOutcome bare =
-        runFork(t.master, &t.plan, false, t.targets, cfg.forkMaxCycles);
+    ForkOutcome bare = runFork(t.master, &t.plan, false, t.targets,
+                               cfg.forkMaxCycles, deadline);
     r.phases.bareNs += nsSince(t0);
 
+    if (!bare.reachedTargets)
+        ++r.hungBare; // diagnostic only; still classified noisy below
     const bool noisy =
         bare.trapped != golden.trapped || !bare.reachedTargets;
     if (noisy) {
@@ -167,9 +175,11 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
     // the trial's last fork, so it takes the snapshot by move.
     t0 = PhaseClock::now();
     ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
-                               t.targets, cfg.forkMaxCycles);
+                               t.targets, cfg.forkMaxCycles, deadline);
     r.phases.protectedNs += nsSince(t0);
 
+    if (!prot.reachedTargets)
+        ++r.hungProtected; // diagnostic; classification unchanged
     t0 = PhaseClock::now();
     const bool prot_matches = prot.reachedTargets && !prot.trapped &&
                               archEquals(prot.core, golden.core);
@@ -186,7 +196,7 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
 CampaignResult
 runTrialLedger(const pipeline::CoreParams &params,
                const CampaignConfig &cfg, Trial &t,
-               const GoldenLedger::Entry &g)
+               const GoldenLedger::Entry &g, const ForkDeadline *deadline)
 {
     CampaignResult r;
     ++r.injected;
@@ -200,11 +210,13 @@ runTrialLedger(const pipeline::CoreParams &params,
     ForkOutcome bare =
         bare_is_last
             ? runFork(std::move(t.master), &t.plan, false, t.targets,
-                      cfg.forkMaxCycles)
+                      cfg.forkMaxCycles, deadline)
             : runFork(t.master, &t.plan, false, t.targets,
-                      cfg.forkMaxCycles);
+                      cfg.forkMaxCycles, deadline);
     r.phases.bareNs += nsSince(t0);
 
+    if (!bare.reachedTargets)
+        ++r.hungBare; // diagnostic only; still classified noisy below
     const bool noisy = bare.trapped != g.trapped || !bare.reachedTargets;
     if (noisy) {
         ++r.noisy;
@@ -227,9 +239,11 @@ runTrialLedger(const pipeline::CoreParams &params,
 
     t0 = PhaseClock::now();
     ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
-                               t.targets, cfg.forkMaxCycles);
+                               t.targets, cfg.forkMaxCycles, deadline);
     r.phases.protectedNs += nsSince(t0);
 
+    if (!prot.reachedTargets)
+        ++r.hungProtected; // diagnostic; classification unchanged
     t0 = PhaseClock::now();
     const bool prot_matches = prot.reachedTargets && !prot.trapped &&
                               GoldenLedger::matches(g, prot.core);
@@ -239,12 +253,61 @@ runTrialLedger(const pipeline::CoreParams &params,
 }
 
 /**
+ * Trial fault isolation: execute one trial's forks inside a
+ * PanicScope with the trial's wall-clock watchdog armed. An fh_panic
+ * or fh_assert raised by the (deliberately corrupted) forked machine
+ * — or a watchdog expiry — surfaces here as a SimError; the trial is
+ * counted in trialErrors with its injection plan logged for offline
+ * reproduction, and the campaign keeps running. Under FH_STRICT=1
+ * (the CI default) panics abort the process exactly as before the
+ * resilience layer existed; only the explicitly opted-in watchdog
+ * still throws. The guard is scoped to this worker's trial: a panic
+ * on the producer thread (the master) still aborts.
+ */
+template <typename RunTrial>
+CampaignResult
+runTrialGuarded(const CampaignConfig &cfg, const Trial &t,
+                RunTrial &&run_trial)
+{
+    ForkDeadline deadline;
+    const ForkDeadline *dl = nullptr;
+    if (cfg.trialTimeoutMs) {
+        deadline.at = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(cfg.trialTimeoutMs);
+        dl = &deadline;
+    }
+    try {
+        PanicScope guard;
+        if (t.index == cfg.panicAtTrial)
+            fh_panic("campaign debug hook: forced panic in trial %llu",
+                     static_cast<unsigned long long>(t.index));
+        return run_trial(dl);
+    } catch (const SimError &e) {
+        CampaignResult r;
+        ++r.injected;
+        ++r.trialErrors;
+        const InjectionPlan &p = t.plan;
+        fh_warn("trial %llu isolated after an in-fork error: %s\n"
+                "  repro: FH_STRICT=1 with seed=%llu, plan{target=%s "
+                "preg=%u lsqNth=%u lsqAddrField=%d tid=%u arch=%u "
+                "bit=%u}",
+                static_cast<unsigned long long>(t.index),
+                e.what(),
+                static_cast<unsigned long long>(cfg.seed),
+                to_string(p.target).c_str(), p.preg, p.lsqNth,
+                p.lsqAddrField ? 1 : 0, p.tid, p.arch, p.bit);
+        return r;
+    }
+}
+
+/**
  * Legacy campaign loop: produce a batch of snapshots, run each
  * trial's golden + faulty forks on the pool, merge in trial order.
  */
 CampaignResult
 runCampaignGoldenFork(const pipeline::CoreParams &params,
-                      const CampaignConfig &cfg, pipeline::Core &master)
+                      const CampaignConfig &cfg, pipeline::Core &master,
+                      TrialJournal *journal)
 {
     Rng gapRng(cfg.seed);
     CampaignResult result;
@@ -267,10 +330,22 @@ runCampaignGoldenFork(const pipeline::CoreParams &params,
     batch.reserve(batch_cap);
     std::vector<CampaignResult> partial(batch_cap);
     u64 trial = 0;
+    u64 executed = 0; // produced (not journal-replayed) this run
     bool halted = false;
-    while (trial < cfg.injections && !halted) {
+    bool stopped = false;
+    auto stop_requested = [&] {
+        return exec::shutdownRequested() ||
+               (cfg.stopAfterTrials && executed >= cfg.stopAfterTrials);
+    };
+    while (trial < cfg.injections && !halted && !stopped) {
         u64 filled = 0;
         while (filled < batch_cap && trial < cfg.injections) {
+            // Graceful shutdown: stop opening new trials; the batch
+            // filled so far still runs and is journaled (drained).
+            if (stop_requested()) {
+                stopped = true;
+                break;
+            }
             // Advance the master to the next injection point.
             auto t0 = PhaseClock::now();
             const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
@@ -280,6 +355,18 @@ runCampaignGoldenFork(const pipeline::CoreParams &params,
             if (master.allHalted()) {
                 halted = true;
                 break;
+            }
+
+            // Resume: a journaled trial's outcome is already known —
+            // the master advanced over its gap (same schedule as the
+            // original run), but no snapshot or fork work is needed.
+            if (journal && trial < journal->replayCount()) {
+                result += journal->replayed(trial);
+                ++result.replayedTrials;
+                if (cfg.progress)
+                    cfg.progress->tick();
+                ++trial;
+                continue;
             }
 
             // The plan comes from the trial's own stream, so the
@@ -295,7 +382,7 @@ runCampaignGoldenFork(const pipeline::CoreParams &params,
                 phase = master.pregPhase(plan.preg);
 
             Trial t{master, plan, windowTargets(master, cfg.window),
-                    phase, master.detector().stats()};
+                    phase, master.detector().stats(), trial};
             if (filled < batch.size())
                 batch[filled] = std::move(t);
             else
@@ -303,17 +390,26 @@ runCampaignGoldenFork(const pipeline::CoreParams &params,
             produced.snapshotNs += nsSince(t0);
             ++filled;
             ++trial;
+            ++executed;
         }
 
         pool.parallelFor(filled, [&](u64 k) {
-            partial[k] = runTrialGoldenFork(params, cfg, batch[k]);
+            partial[k] = runTrialGuarded(
+                cfg, batch[k], [&](const ForkDeadline *dl) {
+                    return runTrialGoldenFork(params, cfg, batch[k], dl);
+                });
             if (cfg.progress)
                 cfg.progress->tick();
         });
-        for (u64 k = 0; k < filled; ++k)
+        // Merge — and journal — in trial (production) order.
+        for (u64 k = 0; k < filled; ++k) {
             result += partial[k];
+            if (journal)
+                journal->record(batch[k].index, partial[k]);
+        }
     }
 
+    result.partial = stopped;
     result.phases += produced;
     return result;
 }
@@ -333,7 +429,8 @@ runCampaignGoldenFork(const pipeline::CoreParams &params,
  */
 CampaignResult
 runCampaignLedger(const pipeline::CoreParams &params,
-                  const CampaignConfig &cfg, pipeline::Core &master)
+                  const CampaignConfig &cfg, pipeline::Core &master,
+                  TrialJournal *journal)
 {
     Rng gapRng(cfg.seed);
     CampaignResult result;
@@ -372,23 +469,44 @@ runCampaignLedger(const pipeline::CoreParams &params,
             return;
         partial.resize(wave.size());
         pool.parallelFor(wave.size(), [&](u64 k) {
-            partial[k] = runTrialLedger(params, cfg, wave[k].t,
-                                        ledger.entry(wave[k].slot));
+            partial[k] = runTrialGuarded(
+                cfg, wave[k].t, [&](const ForkDeadline *dl) {
+                    return runTrialLedger(params, cfg, wave[k].t,
+                                          ledger.entry(wave[k].slot),
+                                          dl);
+                });
             if (cfg.progress)
                 cfg.progress->tick();
         });
-        // Merge in trial (production) order: bit-identical for any
-        // worker count. Slots free up for the next opens.
+        // Merge — and journal — in trial (production) order:
+        // bit-identical for any worker count. Slots free up for the
+        // next opens.
         for (size_t k = 0; k < wave.size(); ++k) {
             result += partial[k];
+            if (journal)
+                journal->record(wave[k].t.index, partial[k]);
             ledger.release(wave[k].slot);
         }
         wave.clear();
     };
 
     u64 trial = 0;
+    u64 executed = 0; // produced (not journal-replayed) this run
     bool halted = false;
+    bool stopped = false;
+    auto stop_requested = [&] {
+        return exec::shutdownRequested() ||
+               (cfg.stopAfterTrials && executed >= cfg.stopAfterTrials);
+    };
     while (trial < cfg.injections && !halted) {
+        // Graceful shutdown: stop opening new trials. The in-flight
+        // ones drain through the normal tail below — their windows
+        // close, they classify, and they reach the journal — so an
+        // interrupted run's journal is always a clean prefix.
+        if (stop_requested()) {
+            stopped = true;
+            break;
+        }
         // Advance the master to the next injection point — the exact
         // legacy schedule. Ledger entries of earlier trials complete
         // passively inside these ticks via the commit observer.
@@ -402,6 +520,19 @@ runCampaignLedger(const pipeline::CoreParams &params,
             break;
         }
 
+        // Resume: replay a journaled trial's outcome. The master
+        // advanced over its gap exactly as the original run did, so
+        // the machine — and every later trial — is bit-identical; the
+        // forks and the ledger entry are simply not needed again.
+        if (journal && trial < journal->replayCount()) {
+            result += journal->replayed(trial);
+            ++result.replayedTrials;
+            if (cfg.progress)
+                cfg.progress->tick();
+            ++trial;
+            continue;
+        }
+
         t0 = PhaseClock::now();
         Rng trialRng = Rng::stream(cfg.seed, trial);
         const InjectionPlan plan = drawPlan(master, cfg.mix, trialRng);
@@ -412,10 +543,12 @@ runCampaignLedger(const pipeline::CoreParams &params,
         std::vector<u64> targets = windowTargets(master, cfg.window);
         const u32 slot = ledger.open(targets);
         inflight.push_back({Trial{master, plan, std::move(targets),
-                                  phase, master.detector().stats()},
+                                  phase, master.detector().stats(),
+                                  trial},
                             slot});
         produced.snapshotNs += nsSince(t0);
         ++trial;
+        ++executed;
 
         promote();
         if (wave.size() >= batch_cap)
@@ -443,6 +576,7 @@ runCampaignLedger(const pipeline::CoreParams &params,
     flushWave();
 
     master.setCommitObserver(nullptr);
+    result.partial = stopped;
     result.phases += produced;
     return result;
 }
@@ -465,10 +599,27 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
                  "increase its iteration count",
                  prog->name.c_str());
 
+    // Durable progress: open (and replay) the trial journal before
+    // the first injection point. The header pins the configuration,
+    // so a resumed run either continues bit-identically or refuses.
+    std::unique_ptr<TrialJournal> journal;
+    if (!cfg.journalPath.empty()) {
+        journal = std::make_unique<TrialJournal>(
+            cfg.journalPath, cfg,
+            filters::to_string(params.detector.scheme));
+        if (journal->replayCount() > 0)
+            fh_inform("journal '%s': replaying %llu completed trial(s)",
+                      cfg.journalPath.c_str(),
+                      static_cast<unsigned long long>(
+                          journal->replayCount()));
+    }
+
     const bool use_ledger =
         !cfg.forceGoldenFork && GoldenLedger::supports(master, *prog);
-    return use_ledger ? runCampaignLedger(params, cfg, master)
-                      : runCampaignGoldenFork(params, cfg, master);
+    return use_ledger
+               ? runCampaignLedger(params, cfg, master, journal.get())
+               : runCampaignGoldenFork(params, cfg, master,
+                                       journal.get());
 }
 
 } // namespace fh::fault

@@ -26,6 +26,8 @@
 #ifndef FH_FAULT_CAMPAIGN_HH
 #define FH_FAULT_CAMPAIGN_HH
 
+#include <string>
+
 #include "fault/injector.hh"
 #include "fault/tandem.hh"
 #include "isa/program.hh"
@@ -84,6 +86,46 @@ struct CampaignConfig
      * via FH_GOLDEN_FORK=1 in the bench harnesses / fhsim / examples.
      */
     bool forceGoldenFork = false;
+
+    /**
+     * Trial journal path (FH_JOURNAL in the bench harnesses,
+     * `journal=` in fhsim); empty = no journal. Completed trials are
+     * appended (and flushed) in trial order; a restarted campaign
+     * with the same configuration replays the journaled prefix
+     * through the cheap serial master advance and skips its forks,
+     * producing counters and SDC bins bit-identical to an
+     * uninterrupted run. See fault/journal.hh.
+     */
+    std::string journalPath;
+
+    /**
+     * Per-trial wall-clock budget in milliseconds, complementing the
+     * cycle-count bound forkMaxCycles (FH_TRIAL_TIMEOUT_MS in the
+     * bench harnesses, `trial_timeout_ms=` in fhsim). A trial whose
+     * forks exceed it is classified into trialErrors — with its
+     * injection plan logged for offline repro — instead of wedging a
+     * worker for the rest of the run. 0 = no watchdog (the default:
+     * wall time is nondeterministic, so only long unattended runs
+     * should opt in).
+     */
+    u64 trialTimeoutMs = 0;
+
+    /**
+     * Debug/test hook: behave as if a shutdown signal arrived once
+     * this many trials have been *executed* (not replayed) in this
+     * run — the campaign drains in-flight trials, flushes the
+     * journal, and returns a partial result. 0 = never. Exercised by
+     * the kill-at-trial-K resume tests.
+     */
+    u64 stopAfterTrials = 0;
+
+    /**
+     * Debug/test hook: raise fh_panic inside the worker executing the
+     * given trial index, exercising the trial-isolation guard
+     * (trialErrors under non-strict mode, abort under FH_STRICT=1).
+     * ~0 = never.
+     */
+    u64 panicAtTrial = ~u64{0};
 };
 
 /**
@@ -155,6 +197,32 @@ struct CampaignResult
     u64 detected = 0;  ///< SDC declared by the LSQ compare / exception
     u64 uncovered = 0;
 
+    /**
+     * Trials whose execution was cut short by an isolated in-fork
+     * panic or a trialTimeoutMs watchdog expiry (non-strict mode
+     * only). Counted in injected but in none of masked/noisy/sdc;
+     * each one's injection plan is logged for offline reproduction.
+     */
+    u64 trialErrors = 0;
+
+    /**
+     * Diagnostic counters for forks that exhausted forkMaxCycles
+     * without crossing their commit targets. Classification is
+     * unchanged (a hung bare fork still counts as noisy; a hung
+     * protected fork still lands in uncovered); these only make the
+     * previously invisible hang paths observable.
+     */
+    u64 hungBare = 0;
+    u64 hungProtected = 0;
+
+    /** True when the campaign stopped early (signal / stopAfterTrials)
+     *  after draining in-flight trials; the counters cover only the
+     *  trials actually completed. */
+    bool partial = false;
+
+    /** Trials restored from the journal instead of executed. */
+    u64 replayedTrials = 0;
+
     SdcBins bins;
     CampaignPhases phases; ///< wall-time breakdown (not a count)
 
@@ -186,6 +254,11 @@ struct CampaignResult
         recovered += o.recovered;
         detected += o.detected;
         uncovered += o.uncovered;
+        trialErrors += o.trialErrors;
+        hungBare += o.hungBare;
+        hungProtected += o.hungProtected;
+        partial = partial || o.partial;
+        replayedTrials += o.replayedTrials;
         bins += o.bins;
         phases += o.phases;
         return *this;

@@ -1,0 +1,90 @@
+#include "fault/campaign_json.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace fh::fault
+{
+
+bool
+writeCampaignJson(const std::string &path, const std::string &bench,
+                  unsigned workers, const CampaignConfig &cfg,
+                  const CampaignResult &r, double seconds)
+{
+    std::FILE *out =
+        path == "-" ? stdout : std::fopen(path.c_str(), "w");
+    if (!out) {
+        fh_warn("cannot write FH_JSON file %s", path.c_str());
+        return false;
+    }
+    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"%s\",\n", bench.c_str());
+    std::fprintf(out, "  \"seed\": %llu,\n", u(cfg.seed));
+    std::fprintf(out, "  \"injections\": %llu,\n", u(cfg.injections));
+    std::fprintf(out, "  \"window\": %llu,\n", u(cfg.window));
+    std::fprintf(out, "  \"worker_threads\": %u,\n", workers);
+    // Interrupted-and-drained runs are flagged, never passed off as
+    // complete: the classification below covers only injected trials.
+    std::fprintf(out, "  \"partial\": %s,\n",
+                 r.partial ? "true" : "false");
+    std::fprintf(out, "  \"replayed_trials\": %llu,\n",
+                 u(r.replayedTrials));
+    std::fprintf(out, "  \"elapsed_seconds\": %.3f,\n", seconds);
+    std::fprintf(out, "  \"trials_per_second\": %.1f,\n",
+                 seconds > 0 ? static_cast<double>(r.injected) / seconds
+                             : 0.0);
+    std::fprintf(out, "  \"classification\": {\n");
+    std::fprintf(out, "    \"injected\": %llu,\n", u(r.injected));
+    std::fprintf(out, "    \"masked\": %llu,\n", u(r.masked));
+    std::fprintf(out, "    \"noisy\": %llu,\n", u(r.noisy));
+    std::fprintf(out, "    \"sdc\": %llu,\n", u(r.sdc));
+    std::fprintf(out, "    \"recovered\": %llu,\n", u(r.recovered));
+    std::fprintf(out, "    \"detected\": %llu,\n", u(r.detected));
+    std::fprintf(out, "    \"uncovered\": %llu,\n", u(r.uncovered));
+    std::fprintf(out, "    \"trial_errors\": %llu,\n", u(r.trialErrors));
+    std::fprintf(out, "    \"hung_bare\": %llu,\n", u(r.hungBare));
+    std::fprintf(out, "    \"hung_protected\": %llu\n",
+                 u(r.hungProtected));
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"bins\": {\n");
+    std::fprintf(out, "    \"covered\": %llu,\n", u(r.bins.covered));
+    std::fprintf(out, "    \"second_level_masked\": %llu,\n",
+                 u(r.bins.secondLevelMasked));
+    std::fprintf(out, "    \"completed_reg\": %llu,\n",
+                 u(r.bins.completedReg));
+    std::fprintf(out, "    \"arch_reg\": %llu,\n", u(r.bins.archReg));
+    std::fprintf(out, "    \"rename_uncovered\": %llu,\n",
+                 u(r.bins.renameUncovered));
+    std::fprintf(out, "    \"no_trigger\": %llu,\n", u(r.bins.noTrigger));
+    std::fprintf(out, "    \"other\": %llu\n", u(r.bins.other));
+    std::fprintf(out, "  },\n");
+    // Wall-time phase breakdown: master advance + golden checkpoint
+    // ledger, snapshot copies, the two faulty forks, and the
+    // arch/digest comparisons.
+    const CampaignPhases &p = r.phases;
+    const double total =
+        static_cast<double>(p.totalNs() ? p.totalNs() : 1);
+    auto pct = [&](u64 ns) {
+        return 100.0 * static_cast<double>(ns) / total;
+    };
+    std::fprintf(out,
+                 "  \"phases_ns\": { \"snapshot\": %llu, \"golden\": "
+                 "%llu, \"bare\": %llu, \"protected\": %llu, "
+                 "\"compare\": %llu },\n",
+                 u(p.snapshotNs), u(p.goldenNs), u(p.bareNs),
+                 u(p.protectedNs), u(p.compareNs));
+    std::fprintf(out,
+                 "  \"phases_pct\": { \"snapshot\": %.1f, \"golden\": "
+                 "%.1f, \"bare\": %.1f, \"protected\": %.1f, "
+                 "\"compare\": %.1f }\n",
+                 pct(p.snapshotNs), pct(p.goldenNs), pct(p.bareNs),
+                 pct(p.protectedNs), pct(p.compareNs));
+    std::fprintf(out, "}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return true;
+}
+
+} // namespace fh::fault

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The machine-readable FH_JSON campaign record, shared by fhsim and
+ * the fault_injection_campaign example so scripts and CI parse one
+ * schema: configuration, classification counts (including the
+ * resilience-layer trialErrors / hung-fork counters), Figure 11 bins,
+ * the wall-time phase breakdown, and a "partial" marker set when the
+ * campaign was interrupted and drained instead of running to
+ * completion.
+ */
+
+#ifndef FH_FAULT_CAMPAIGN_JSON_HH
+#define FH_FAULT_CAMPAIGN_JSON_HH
+
+#include <string>
+
+#include "fault/campaign.hh"
+
+namespace fh::fault
+{
+
+/**
+ * Write the campaign record to path ("-" = stdout). workers is the
+ * resolved worker-thread count, seconds the campaign wall time.
+ * Returns false (with a warning) if the file cannot be opened.
+ */
+bool writeCampaignJson(const std::string &path, const std::string &bench,
+                       unsigned workers, const CampaignConfig &cfg,
+                       const CampaignResult &r, double seconds);
+
+} // namespace fh::fault
+
+#endif // FH_FAULT_CAMPAIGN_JSON_HH

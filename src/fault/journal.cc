@@ -1,0 +1,220 @@
+#include "fault/journal.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace fh::fault
+{
+
+namespace
+{
+
+/**
+ * The counters serialized per trial, in record-array order. The
+ * wall-time phases and the partial/replayed markers are deliberately
+ * absent: phases were never deterministic, and the markers describe a
+ * run, not a trial.
+ */
+constexpr size_t kCounters = 17;
+
+void
+packCounters(const CampaignResult &r, u64 (&d)[kCounters])
+{
+    d[0] = r.injected;
+    d[1] = r.masked;
+    d[2] = r.noisy;
+    d[3] = r.sdc;
+    d[4] = r.recovered;
+    d[5] = r.detected;
+    d[6] = r.uncovered;
+    d[7] = r.trialErrors;
+    d[8] = r.hungBare;
+    d[9] = r.hungProtected;
+    d[10] = r.bins.covered;
+    d[11] = r.bins.secondLevelMasked;
+    d[12] = r.bins.completedReg;
+    d[13] = r.bins.archReg;
+    d[14] = r.bins.renameUncovered;
+    d[15] = r.bins.noTrigger;
+    d[16] = r.bins.other;
+}
+
+CampaignResult
+unpackCounters(const u64 (&d)[kCounters])
+{
+    CampaignResult r;
+    r.injected = d[0];
+    r.masked = d[1];
+    r.noisy = d[2];
+    r.sdc = d[3];
+    r.recovered = d[4];
+    r.detected = d[5];
+    r.uncovered = d[6];
+    r.trialErrors = d[7];
+    r.hungBare = d[8];
+    r.hungProtected = d[9];
+    r.bins.covered = d[10];
+    r.bins.secondLevelMasked = d[11];
+    r.bins.completedReg = d[12];
+    r.bins.archReg = d[13];
+    r.bins.renameUncovered = d[14];
+    r.bins.noTrigger = d[15];
+    r.bins.other = d[16];
+    return r;
+}
+
+/**
+ * The header pins everything the trial outcomes are a function of:
+ * the seed (gap schedule + per-trial streams), the trial count and
+ * window, the schedule bounds, the fork cycle budget, the injection
+ * mix, and the detector scheme. Matching is exact string equality of
+ * this line, so any config drift — including a float formatting
+ * change — refuses to resume rather than resuming wrong.
+ */
+std::string
+headerLine(const CampaignConfig &cfg, const std::string &scheme)
+{
+    return csprintf(
+        "{\"fh_trial_journal\": 1, \"scheme\": \"%s\", \"seed\": %llu, "
+        "\"injections\": %llu, \"window\": %llu, \"warmup\": %llu, "
+        "\"min_gap\": %llu, \"max_gap\": %llu, "
+        "\"fork_max_cycles\": %llu, \"rename_frac\": %.17g, "
+        "\"lsq_frac\": %.17g, \"inflight_frac\": %.17g}",
+        scheme.c_str(), static_cast<unsigned long long>(cfg.seed),
+        static_cast<unsigned long long>(cfg.injections),
+        static_cast<unsigned long long>(cfg.window),
+        static_cast<unsigned long long>(cfg.warmupInsts),
+        static_cast<unsigned long long>(cfg.minGap),
+        static_cast<unsigned long long>(cfg.maxGap),
+        static_cast<unsigned long long>(cfg.forkMaxCycles),
+        cfg.mix.renameFrac, cfg.mix.lsqFrac, cfg.mix.inflightFrac);
+}
+
+/** Parse `{"t": N, "d": [c0, ..., c16]}`; false on any malformation
+ *  (a crash-truncated tail line must not be trusted). */
+bool
+parseRecord(const std::string &line, u64 &trial, u64 (&d)[kCounters])
+{
+    const char *p = line.c_str();
+    auto expect = [&](const char *tok) {
+        while (std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+        const size_t n = std::strlen(tok);
+        if (std::strncmp(p, tok, n) != 0)
+            return false;
+        p += n;
+        return true;
+    };
+    auto number = [&](u64 &out) {
+        while (std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return false;
+        char *end = nullptr;
+        out = std::strtoull(p, &end, 10);
+        p = end;
+        return true;
+    };
+    if (!expect("{") || !expect("\"t\":") || !number(trial) ||
+        !expect(",") || !expect("\"d\":") || !expect("[")) {
+        return false;
+    }
+    for (size_t i = 0; i < kCounters; ++i) {
+        if (!number(d[i]))
+            return false;
+        if (i + 1 < kCounters && !expect(","))
+            return false;
+    }
+    return expect("]") && expect("}");
+}
+
+} // namespace
+
+TrialJournal::TrialJournal(const std::string &path,
+                           const CampaignConfig &cfg,
+                           const std::string &scheme)
+    : path_(path)
+{
+    const std::string header = headerLine(cfg, scheme);
+
+    std::ifstream in(path_);
+    if (in) {
+        std::string line;
+        if (std::getline(in, line) && !line.empty()) {
+            if (line != header) {
+                fh_fatal("journal '%s' was written by a different "
+                         "campaign configuration; delete it or point "
+                         "FH_JOURNAL/journal= elsewhere\n  file: %s\n  "
+                         "want: %s",
+                         path_.c_str(), line.c_str(), header.c_str());
+            }
+            u64 d[kCounters];
+            u64 trial = 0;
+            while (std::getline(in, line)) {
+                if (!parseRecord(line, trial, d) ||
+                    trial != replayed_.size()) {
+                    // Crash-truncated or out-of-order tail: keep the
+                    // clean prefix, drop the rest (it re-executes).
+                    break;
+                }
+                replayed_.push_back(unpackCounters(d));
+            }
+        }
+        in.close();
+    }
+    nextTrial_ = replayed_.size();
+
+    // Rewrite header + the validated prefix rather than appending
+    // after a possibly torn tail line, so the file is always
+    // well-formed from here on.
+    out_ = std::fopen(path_.c_str(), "w");
+    if (!out_)
+        fh_fatal("cannot open journal '%s' for writing", path_.c_str());
+    std::fprintf(out_, "%s\n", header.c_str());
+    for (u64 t = 0; t < replayed_.size(); ++t) {
+        u64 d[kCounters];
+        packCounters(replayed_[t], d);
+        std::fprintf(out_, "{\"t\": %llu, \"d\": [",
+                     static_cast<unsigned long long>(t));
+        for (size_t i = 0; i < kCounters; ++i)
+            std::fprintf(out_, "%s%llu", i ? ", " : "",
+                         static_cast<unsigned long long>(d[i]));
+        std::fprintf(out_, "]}\n");
+    }
+    std::fflush(out_);
+}
+
+TrialJournal::~TrialJournal()
+{
+    if (out_)
+        std::fclose(out_);
+}
+
+void
+TrialJournal::record(u64 trial, const CampaignResult &delta)
+{
+    fh_assert(trial == nextTrial_,
+              "journal records must arrive in trial order (got %llu, "
+              "expected %llu)",
+              static_cast<unsigned long long>(trial),
+              static_cast<unsigned long long>(nextTrial_));
+    ++nextTrial_;
+    u64 d[kCounters];
+    packCounters(delta, d);
+    std::fprintf(out_, "{\"t\": %llu, \"d\": [",
+                 static_cast<unsigned long long>(trial));
+    for (size_t i = 0; i < kCounters; ++i)
+        std::fprintf(out_, "%s%llu", i ? ", " : "",
+                     static_cast<unsigned long long>(d[i]));
+    std::fprintf(out_, "]}\n");
+    // One flush per completed trial: at campaign throughput (~500
+    // trials/s) this is noise, and it is exactly the durability the
+    // journal exists for.
+    std::fflush(out_);
+}
+
+} // namespace fh::fault

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trial journal: durable, append-only progress for fault-injection
+ * campaigns, and the deterministic-resume half of the campaign
+ * resilience layer.
+ *
+ * A paper-scale campaign (15000 injections x 11 workloads x several
+ * schemes) runs for hours; an OOM kill or a ^C at trial 14000 must
+ * not cost the first 14000 trials. The journal records one JSONL line
+ * per *completed* trial — its index and its counter deltas into
+ * CampaignResult — written in trial order on the producer thread at
+ * merge time and flushed immediately.
+ *
+ * Resume is deterministic by construction: everything downstream of
+ * the master's advance is a pure function of (seed, trial index), and
+ * the master's advance itself is a pure function of the gap schedule
+ * (gapRng is seeded). A restarted campaign therefore replays only the
+ * cheap serial master advance over the journaled prefix — same gaps,
+ * same ticks, bit-identical machine — skips the forks of journaled
+ * trials (their deltas are added straight from the journal), and
+ * executes the remainder exactly as the uninterrupted run would have.
+ * The final CampaignResult counters and SDC bins equal an
+ * uninterrupted run's exactly (wall-time phase accounting excepted —
+ * it was never deterministic).
+ *
+ * The header line pins the campaign identity (seed, injections,
+ * window, schedule, mix, scheme); resuming against a journal written
+ * by a different configuration is a user error (fh_fatal), not a
+ * silent wrong answer. A line truncated by a crash mid-write is
+ * ignored, as is everything after it.
+ */
+
+#ifndef FH_FAULT_JOURNAL_HH
+#define FH_FAULT_JOURNAL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+
+namespace fh::fault
+{
+
+class TrialJournal
+{
+  public:
+    /**
+     * Open (or create) the journal at path for the campaign described
+     * by cfg/scheme. An existing journal must carry a matching header
+     * (else fh_fatal); its well-formed prefix of trial records is
+     * loaded for replay and subsequent records append after it.
+     */
+    TrialJournal(const std::string &path, const CampaignConfig &cfg,
+                 const std::string &scheme);
+    ~TrialJournal();
+
+    TrialJournal(const TrialJournal &) = delete;
+    TrialJournal &operator=(const TrialJournal &) = delete;
+
+    /**
+     * Trials restored from the file: records are written in trial
+     * order, so the journaled set is always the prefix [0, count).
+     */
+    u64 replayCount() const { return replayed_.size(); }
+
+    /** Counter deltas of a journaled trial (trial < replayCount()). */
+    const CampaignResult &replayed(u64 trial) const
+    {
+        return replayed_[trial];
+    }
+
+    /**
+     * Append one completed trial's deltas and flush, so the record
+     * survives any later crash. Must be called in trial order,
+     * starting at replayCount().
+     */
+    void record(u64 trial, const CampaignResult &delta);
+
+  private:
+    std::string path_;
+    std::FILE *out_ = nullptr;
+    u64 nextTrial_ = 0;
+    std::vector<CampaignResult> replayed_;
+};
+
+} // namespace fh::fault
+
+#endif // FH_FAULT_JOURNAL_HH

@@ -1,9 +1,26 @@
 #include "fault/tandem.hh"
 
+#include <algorithm>
 #include <utility>
+
+#include "sim/error.hh"
 
 namespace fh::fault
 {
+
+namespace
+{
+
+/**
+ * Cycles per watchdog check: small enough that an expired deadline is
+ * noticed within tens of microseconds, large enough that the clock
+ * read is noise. Slicing runUntilCommitted is behavior-preserving —
+ * its done/frozen checks are pure functions of machine state, so N
+ * bounded calls tick exactly the same sequence as one call.
+ */
+constexpr Cycle kWatchdogSlice = 4096;
+
+} // namespace
 
 std::vector<u64>
 windowTargets(const pipeline::Core &base, u64 window)
@@ -17,16 +34,16 @@ windowTargets(const pipeline::Core &base, u64 window)
 ForkOutcome
 runFork(const pipeline::Core &base, const InjectionPlan *plan,
         bool detector_enabled, const std::vector<u64> &targets,
-        Cycle max_cycles)
+        Cycle max_cycles, const ForkDeadline *deadline)
 {
     return runFork(pipeline::Core(base), plan, detector_enabled, targets,
-                   max_cycles);
+                   max_cycles, deadline);
 }
 
 ForkOutcome
 runFork(pipeline::Core &&base, const InjectionPlan *plan,
         bool detector_enabled, const std::vector<u64> &targets,
-        Cycle max_cycles)
+        Cycle max_cycles, const ForkDeadline *deadline)
 {
     ForkOutcome out{std::move(base), false, false};
     // The fork is a copy of a (possibly observed) campaign master;
@@ -44,7 +61,34 @@ runFork(pipeline::Core &&base, const InjectionPlan *plan,
         out.core.threadOptions(tid).stopAfterInsts = targets[tid];
     if (plan)
         apply(out.core, *plan);
-    out.reachedTargets = out.core.runUntilCommitted(targets, max_cycles);
+    if (!deadline) {
+        out.reachedTargets =
+            out.core.runUntilCommitted(targets, max_cycles);
+    } else {
+        // Watchdogged: run in bounded slices, checking the wall clock
+        // between them. runUntilCommitted returning true (targets
+        // crossed, no further ticks) ends the loop; a false return
+        // with budget left just means the slice ran out — unless the
+        // machine is frozen short of its targets, in which case more
+        // ticking cannot help and we bail like the unsliced call.
+        Cycle spent = 0;
+        out.reachedTargets = out.core.runUntilCommitted(targets, 0);
+        while (!out.reachedTargets && spent < max_cycles) {
+            if (std::chrono::steady_clock::now() >= deadline->at)
+                throw SimError(__FILE__, __LINE__,
+                               "trial wall-clock budget exceeded "
+                               "(trialTimeoutMs watchdog)");
+            const Cycle slice =
+                std::min(kWatchdogSlice, max_cycles - spent);
+            const Cycle before = out.core.cycle();
+            out.reachedTargets =
+                out.core.runUntilCommitted(targets, slice);
+            const Cycle ticked = out.core.cycle() - before;
+            spent += slice;
+            if (!out.reachedTargets && ticked < slice)
+                break; // frozen short of a target: hung, bail now
+        }
+    }
     out.trapped = out.core.anyTrap();
     return out;
 }

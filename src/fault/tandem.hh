@@ -10,6 +10,7 @@
 #ifndef FH_FAULT_TANDEM_HH
 #define FH_FAULT_TANDEM_HH
 
+#include <chrono>
 #include <vector>
 
 #include "fault/injector.hh"
@@ -27,16 +28,33 @@ struct ForkOutcome
     bool trapped = false;
 };
 
+/**
+ * Wall-clock watchdog for a trial's fork executions (the campaign's
+ * trialTimeoutMs, complementing the cycle-count bound max_cycles).
+ * One deadline spans all of a trial's forks; when a fork's tick loop
+ * crosses it, runFork throws a SimError that the campaign's trial
+ * guard converts into a trialErrors entry instead of wedging the
+ * worker. Wall time is nondeterministic, so an expiring watchdog
+ * trades bit-exact reproducibility for forward progress — the expired
+ * trial is journaled, and a resumed run replays the journal rather
+ * than re-racing the clock.
+ */
+struct ForkDeadline
+{
+    std::chrono::steady_clock::time_point at;
+};
+
 /** Per-thread commit targets for a run window starting at base. */
 std::vector<u64> windowTargets(const pipeline::Core &base, u64 window);
 
 /**
  * Copy base, optionally inject plan, optionally enable the detector,
- * and run until the per-thread targets (bounded by max_cycles).
+ * and run until the per-thread targets (bounded by max_cycles, and by
+ * deadline when non-null).
  */
 ForkOutcome runFork(const pipeline::Core &base, const InjectionPlan *plan,
                     bool detector_enabled, const std::vector<u64> &targets,
-                    Cycle max_cycles);
+                    Cycle max_cycles, const ForkDeadline *deadline = nullptr);
 
 /**
  * As above, but consume base instead of copying it: the last fork of
@@ -45,7 +63,7 @@ ForkOutcome runFork(const pipeline::Core &base, const InjectionPlan *plan,
  */
 ForkOutcome runFork(pipeline::Core &&base, const InjectionPlan *plan,
                     bool detector_enabled, const std::vector<u64> &targets,
-                    Cycle max_cycles);
+                    Cycle max_cycles, const ForkDeadline *deadline = nullptr);
 
 /**
  * Architectural equivalence: per-thread registers, commit PCs, halt

@@ -80,12 +80,14 @@ Config::set(const std::string &assignment)
 bool
 Config::has(const std::string &key) const
 {
+    declareKey(key);
     return values_.count(key) != 0;
 }
 
 std::string
 Config::getString(const std::string &key, const std::string &def) const
 {
+    declareKey(key);
     auto it = values_.find(key);
     return it == values_.end() ? def : it->second;
 }
@@ -93,6 +95,7 @@ Config::getString(const std::string &key, const std::string &def) const
 u64
 Config::getU64(const std::string &key, u64 def) const
 {
+    declareKey(key);
     auto it = values_.find(key);
     if (it == values_.end())
         return def;
@@ -102,6 +105,7 @@ Config::getU64(const std::string &key, u64 def) const
 double
 Config::getDouble(const std::string &key, double def) const
 {
+    declareKey(key);
     auto it = values_.find(key);
     if (it == values_.end())
         return def;
@@ -111,6 +115,7 @@ Config::getDouble(const std::string &key, double def) const
 bool
 Config::getBool(const std::string &key, bool def) const
 {
+    declareKey(key);
     auto it = values_.find(key);
     if (it == values_.end())
         return def;
@@ -123,6 +128,24 @@ Config::getBool(const std::string &key, bool def) const
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
     return def;
+}
+
+void
+Config::declareKey(const std::string &key) const
+{
+    declared_.insert(key);
+}
+
+std::vector<std::string>
+Config::unknownKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : values_) {
+        (void)value;
+        if (declared_.count(key) == 0)
+            out.push_back(key);
+    }
+    return out;
 }
 
 } // namespace fh

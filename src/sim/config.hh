@@ -11,7 +11,9 @@
 #define FH_SIM_CONFIG_HH
 
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -46,8 +48,28 @@ class Config
         return values_;
     }
 
+    /**
+     * Register a key a driver understands without reading it yet
+     * (e.g. `injections`, consulted only when `campaign=true`). Every
+     * typed accessor registers its key automatically, so drivers only
+     * declare keys they read conditionally.
+     */
+    void declareKey(const std::string &key) const;
+
+    /**
+     * Keys that were set but never declared or read — in a CLI
+     * driver, almost certainly typos (`injectons=5000` silently
+     * running the default campaign is the motivating bug). Call after
+     * all options are consumed and fh_fatal on a non-empty result.
+     */
+    std::vector<std::string> unknownKeys() const;
+
   private:
     std::map<std::string, std::string> values_;
+    /** Keys consumed by accessors or declareKey (recognition set for
+     *  unknownKeys); mutable because reading a value is logically
+     *  const. */
+    mutable std::set<std::string> declared_;
 };
 
 } // namespace fh

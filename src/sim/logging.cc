@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "sim/error.hh"
+
 namespace fh
 {
 
@@ -27,6 +29,12 @@ csprintf(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Inside a trial's PanicScope (and outside FH_STRICT=1), a panic
+    // is an isolated per-trial failure: throw it to the campaign's
+    // trial guard instead of killing an hours-long run. See
+    // sim/error.hh for the scoping rules.
+    if (PanicScope::active() && !strictMode())
+        throw SimError(file, line, msg);
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }

@@ -66,6 +66,28 @@ TEST(Config, TypedAccessorsAndDefaults)
     EXPECT_FALSE(cfg.has("missing"));
 }
 
+TEST(Config, UnknownKeysTracksUndeclaredUnreadKeys)
+{
+    Config cfg;
+    std::string err;
+    ASSERT_TRUE(cfg.parse("injections = 5000\n"
+                          "injectons = 5000\n"
+                          "jobs = 8\n",
+                          err));
+    // Nothing consumed yet: everything is unknown.
+    EXPECT_EQ(cfg.unknownKeys().size(), 3u);
+    // Reading a key (even via has()) recognises it; declareKey covers
+    // keys a driver reads only conditionally.
+    EXPECT_EQ(cfg.getU64("injections", 0), 5000u);
+    cfg.declareKey("jobs");
+    const auto unknown = cfg.unknownKeys();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "injectons");
+    // Declaring a key that was never set is fine (optional options).
+    cfg.declareKey("window");
+    EXPECT_EQ(cfg.unknownKeys().size(), 1u);
+}
+
 TEST(Config, MissingFileIsAnError)
 {
     Config cfg;

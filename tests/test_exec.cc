@@ -60,6 +60,10 @@ expectIdentical(const fault::CampaignResult &a,
     EXPECT_EQ(a.bins.renameUncovered, b.bins.renameUncovered);
     EXPECT_EQ(a.bins.noTrigger, b.bins.noTrigger);
     EXPECT_EQ(a.bins.other, b.bins.other);
+    EXPECT_EQ(a.trialErrors, b.trialErrors);
+    EXPECT_EQ(a.hungBare, b.hungBare);
+    EXPECT_EQ(a.hungProtected, b.hungProtected);
+    EXPECT_EQ(a.partial, b.partial);
 }
 
 } // namespace
@@ -127,8 +131,30 @@ TEST(ThreadPool, ExceptionPropagatesToCaller)
                                           throw std::runtime_error("boom");
                                   }),
                  std::runtime_error);
-    // The remaining chunks still complete before the rethrow.
-    EXPECT_EQ(ran.load(), 64u);
+    // Once the failure is latched, the remaining chunks are skipped —
+    // not silently counted as done — and every index is accounted for
+    // as either executed (including the one that threw) or skipped.
+    EXPECT_GE(ran.load(), 1u);
+    EXPECT_LE(ran.load(), 64u);
+    EXPECT_EQ(ran.load() + pool.lastSkipped(), 64u);
+    // A clean loop resets the skip accounting.
+    pool.parallelFor(8, [](u64) {});
+    EXPECT_EQ(pool.lastSkipped(), 0u);
+}
+
+TEST(ThreadPool, SerialExceptionReportsSkipped)
+{
+    exec::ThreadPool pool(1);
+    u64 ran = 0;
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [&](u64 i) {
+                                      ++ran;
+                                      if (i == 3)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(ran, 4u);
+    EXPECT_EQ(pool.lastSkipped(), 6u);
 }
 
 TEST(ThreadPool, OneShotHelper)

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * The campaign resilience layer: panic-to-SimError trial isolation
+ * (and its FH_STRICT escape hatch), the trial journal's
+ * kill-at-trial-K → resume → bit-identical-continuation contract at 1
+ * and 4 worker threads, the hung-fork diagnostics (forkMaxCycles on an
+ * always-looping program, the GoldenLedger forceFinalizeAll hung-master
+ * drain), and the wall-clock watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fault/campaign.hh"
+#include "fault/tandem.hh"
+#include "isa/program.hh"
+#include "pipeline/core.hh"
+#include "sim/error.hh"
+#include "sim/logging.hh"
+#include "workload/workload.hh"
+
+using namespace fh;
+
+namespace
+{
+
+/** Scoped FH_STRICT override restoring the previous value on exit. */
+class StrictModeOverride
+{
+  public:
+    explicit StrictModeOverride(const char *value)
+    {
+        const char *old = std::getenv("FH_STRICT");
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        setenv("FH_STRICT", value, 1);
+    }
+
+    ~StrictModeOverride()
+    {
+        if (had_)
+            setenv("FH_STRICT", old_.c_str(), 1);
+        else
+            unsetenv("FH_STRICT");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+isa::Program
+prog()
+{
+    workload::WorkloadSpec spec;
+    spec.maxThreads = 2;
+    spec.footprintDivider = 64;
+    return workload::build("ocean", spec);
+}
+
+pipeline::CoreParams
+fhParams()
+{
+    pipeline::CoreParams p;
+    p.detector = filters::DetectorParams::faultHound();
+    return p;
+}
+
+/** Both SMT contexts spin forever: addi/jmp, unreachable halt. */
+isa::Program
+spinProg()
+{
+    isa::ProgramBuilder b("spin");
+    b.addSegment(0x20000000, 4096);
+    b.addSegment(0x20010000, 4096);
+    b.emit(isa::makeLi(2, 0));
+    const u32 loop = b.here();
+    b.emit(isa::makeRRI(isa::Op::Addi, 2, 2, 1));
+    b.emit(isa::makeJmp(loop));
+    isa::Program p = b.take();
+    p.threadBases = {0x20000000, 0x20010000};
+    return p;
+}
+
+/** A journal path under the test temp dir, fresh per call site. */
+std::string
+journalPath(const std::string &name)
+{
+    const std::string path = testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+void
+expectIdentical(const fault::CampaignResult &a,
+                const fault::CampaignResult &b)
+{
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.noisy, b.noisy);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.uncovered, b.uncovered);
+    EXPECT_EQ(a.trialErrors, b.trialErrors);
+    EXPECT_EQ(a.hungBare, b.hungBare);
+    EXPECT_EQ(a.hungProtected, b.hungProtected);
+    EXPECT_EQ(a.bins.covered, b.bins.covered);
+    EXPECT_EQ(a.bins.secondLevelMasked, b.bins.secondLevelMasked);
+    EXPECT_EQ(a.bins.completedReg, b.bins.completedReg);
+    EXPECT_EQ(a.bins.archReg, b.bins.archReg);
+    EXPECT_EQ(a.bins.renameUncovered, b.bins.renameUncovered);
+    EXPECT_EQ(a.bins.noTrigger, b.bins.noTrigger);
+    EXPECT_EQ(a.bins.other, b.bins.other);
+}
+
+fault::CampaignConfig
+baseConfig()
+{
+    fault::CampaignConfig cfg;
+    cfg.injections = 24;
+    cfg.window = 300;
+    cfg.seed = 77;
+    cfg.threads = 1;
+    return cfg;
+}
+
+/**
+ * The resume-determinism contract (at the given worker-thread count,
+ * in either golden mode): killing a journaled campaign after K
+ * executed trials and rerunning it with the same configuration yields
+ * the exact counters of the uninterrupted reference run.
+ */
+void
+checkResume(unsigned threads, bool golden_fork)
+{
+    auto program = prog();
+    auto params = fhParams();
+
+    fault::CampaignConfig cfg = baseConfig();
+    cfg.threads = threads;
+    cfg.forceGoldenFork = golden_fork;
+    const auto reference = fault::runCampaign(params, &program, cfg);
+    ASSERT_EQ(reference.injected, cfg.injections);
+    EXPECT_FALSE(reference.partial);
+
+    cfg.journalPath = journalPath(
+        "resume_t" + std::to_string(threads) +
+        (golden_fork ? "_gf" : "_ledger") + ".fhj");
+    cfg.stopAfterTrials = 10; // simulated SIGINT after 10 trials
+    const auto interrupted = fault::runCampaign(params, &program, cfg);
+    EXPECT_TRUE(interrupted.partial);
+    EXPECT_GE(interrupted.injected, cfg.stopAfterTrials);
+    EXPECT_LT(interrupted.injected, cfg.injections);
+
+    cfg.stopAfterTrials = 0;
+    const auto resumed = fault::runCampaign(params, &program, cfg);
+    EXPECT_FALSE(resumed.partial);
+    // Every trial the interrupted run completed was replayed from the
+    // journal, not executed again.
+    EXPECT_EQ(resumed.replayedTrials, interrupted.injected);
+    expectIdentical(reference, resumed);
+
+    // A second rerun replays everything and still matches.
+    const auto replayed = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(replayed.replayedTrials, cfg.injections);
+    expectIdentical(reference, replayed);
+    std::remove(cfg.journalPath.c_str());
+}
+
+} // namespace
+
+TEST(TrialIsolation, PanicThrowsSimErrorInsideScope)
+{
+    StrictModeOverride strict("0");
+    PanicScope scope;
+    EXPECT_TRUE(PanicScope::active());
+    try {
+        fh_panic("isolated failure %d", 42);
+        FAIL() << "fh_panic returned";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.message()).find("isolated failure 42"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.file()).find("test_resilience"),
+                  std::string::npos);
+        EXPECT_GT(e.line(), 0);
+        EXPECT_NE(std::string(e.what()).find("isolated failure 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(TrialIsolation, ScopeNestsAndDeactivates)
+{
+    EXPECT_FALSE(PanicScope::active());
+    {
+        PanicScope outer;
+        PanicScope inner;
+        EXPECT_TRUE(PanicScope::active());
+    }
+    EXPECT_FALSE(PanicScope::active());
+}
+
+TEST(TrialIsolationDeathTest, PanicAbortsOutsideScope)
+{
+    StrictModeOverride strict("0");
+    EXPECT_FALSE(PanicScope::active());
+    EXPECT_DEATH(fh_panic("unscoped"), "panic: unscoped");
+}
+
+TEST(TrialIsolationDeathTest, StrictModeAbortsEvenInScope)
+{
+    StrictModeOverride strict("1");
+    PanicScope scope;
+    EXPECT_DEATH(fh_panic("strict"), "panic: strict");
+}
+
+TEST(TrialIsolation, CampaignIsolatesInTrialPanic)
+{
+    StrictModeOverride strict("0");
+    auto program = prog();
+    auto params = fhParams();
+
+    fault::CampaignConfig cfg = baseConfig();
+    const auto clean = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(clean.trialErrors, 0u);
+
+    cfg.panicAtTrial = 7;
+    const auto serial = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(serial.injected, cfg.injections);
+    EXPECT_EQ(serial.trialErrors, 1u);
+    // The errored trial is counted in injected but in no class;
+    // everything else classifies exactly as before.
+    EXPECT_EQ(serial.masked + serial.noisy + serial.sdc +
+                  serial.trialErrors,
+              serial.injected);
+    EXPECT_EQ(serial.masked + serial.noisy + serial.sdc + 1,
+              clean.masked + clean.noisy + clean.sdc);
+
+    // Isolation does not disturb the worker-count determinism
+    // contract: the panicking trial errors identically under a pool.
+    cfg.threads = 4;
+    const auto parallel = fault::runCampaign(params, &program, cfg);
+    expectIdentical(serial, parallel);
+}
+
+TEST(TrialIsolationDeathTest, StrictModeAbortsCampaignOnTrialPanic)
+{
+    StrictModeOverride strict("1");
+    auto program = prog();
+    auto params = fhParams();
+    fault::CampaignConfig cfg = baseConfig();
+    cfg.injections = 10;
+    cfg.panicAtTrial = 5;
+    EXPECT_DEATH(fault::runCampaign(params, &program, cfg),
+                 "panic: campaign debug hook");
+}
+
+TEST(Journal, ResumeBitIdenticalLedgerSerial) { checkResume(1, false); }
+
+TEST(Journal, ResumeBitIdenticalLedgerParallel) { checkResume(4, false); }
+
+TEST(Journal, ResumeBitIdenticalGoldenForkSerial)
+{
+    checkResume(1, true);
+}
+
+TEST(Journal, ResumeBitIdenticalGoldenForkParallel)
+{
+    checkResume(4, true);
+}
+
+TEST(Journal, CompletedJournalShortCircuitsTheCampaign)
+{
+    auto program = prog();
+    auto params = fhParams();
+    fault::CampaignConfig cfg = baseConfig();
+    cfg.journalPath = journalPath("complete.fhj");
+    const auto first = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(first.replayedTrials, 0u);
+    const auto second = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(second.replayedTrials, cfg.injections);
+    expectIdentical(first, second);
+    std::remove(cfg.journalPath.c_str());
+}
+
+TEST(JournalDeathTest, ConfigMismatchRefusesToResume)
+{
+    auto program = prog();
+    auto params = fhParams();
+    fault::CampaignConfig cfg = baseConfig();
+    cfg.injections = 4;
+    cfg.journalPath = journalPath("mismatch.fhj");
+    fault::runCampaign(params, &program, cfg);
+    // Same journal, different seed: resuming would silently mix two
+    // campaigns, so the journal must refuse.
+    cfg.seed = cfg.seed + 1;
+    EXPECT_DEATH(fault::runCampaign(params, &program, cfg),
+                 "different campaign configuration");
+    std::remove(cfg.journalPath.c_str());
+}
+
+TEST(HungForks, AlwaysLoopingForkExhaustsForkMaxCycles)
+{
+    // Direct runFork on a program that can never reach its commit
+    // targets: the cycle bound is the only thing that ends the fork.
+    isa::Program p = spinProg();
+    pipeline::CoreParams params; // no detector
+    pipeline::Core master(params, &p);
+    for (int i = 0; i < 2000; ++i)
+        master.tick();
+    ASSERT_FALSE(master.allHalted());
+
+    std::vector<u64> targets =
+        fault::windowTargets(master, 1'000'000'000ull);
+    auto out =
+        fault::runFork(master, nullptr, false, targets, /*max_cycles=*/3000);
+    EXPECT_FALSE(out.reachedTargets);
+    EXPECT_FALSE(out.trapped);
+}
+
+TEST(HungForks, ExpiredDeadlineThrowsSimError)
+{
+    isa::Program p = spinProg();
+    pipeline::CoreParams params;
+    pipeline::Core master(params, &p);
+    for (int i = 0; i < 2000; ++i)
+        master.tick();
+
+    std::vector<u64> targets =
+        fault::windowTargets(master, 1'000'000'000ull);
+    fault::ForkDeadline deadline;
+    deadline.at = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);
+    EXPECT_THROW(fault::runFork(master, nullptr, false, targets,
+                                /*max_cycles=*/1'000'000, &deadline),
+                 SimError);
+}
+
+TEST(HungForks, CampaignCountsHungForksWithoutReclassifying)
+{
+    // A window far beyond what forkMaxCycles allows: every bare fork
+    // hangs (counted), classification still covers every injection,
+    // and the ledger drain takes the forceFinalizeAll hung-master
+    // path (window >> forkMaxCycles, master not halted).
+    auto program = prog();
+    auto params = fhParams();
+    fault::CampaignConfig cfg = baseConfig();
+    cfg.injections = 8;
+    cfg.window = 5000;
+    cfg.forkMaxCycles = 200;
+
+    const auto serial = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(serial.injected, cfg.injections);
+    EXPECT_GT(serial.hungBare, 0u);
+    EXPECT_EQ(serial.masked + serial.noisy + serial.sdc,
+              serial.injected);
+
+    cfg.threads = 4;
+    const auto parallel = fault::runCampaign(params, &program, cfg);
+    expectIdentical(serial, parallel);
+
+    // The legacy golden-fork loop hits its own drain-free path with
+    // the same hang accounting.
+    cfg.forceGoldenFork = true;
+    cfg.threads = 1;
+    const auto forked = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(forked.injected, cfg.injections);
+    EXPECT_GT(forked.hungBare, 0u);
+}
+
+TEST(Watchdog, TimeoutClassifiesRunawayTrialsAsErrors)
+{
+    StrictModeOverride strict("0");
+    // A 1 ms budget with a huge window: trials blow the
+    // deadline inside their forks and must be isolated as trial
+    // errors, not wedge the campaign.
+    auto program = prog();
+    auto params = fhParams();
+    fault::CampaignConfig cfg = baseConfig();
+    cfg.injections = 4;
+    cfg.window = 50000;
+    cfg.forkMaxCycles = 1'000'000'000ull;
+    cfg.trialTimeoutMs = 1;
+
+    const auto r = fault::runCampaign(params, &program, cfg);
+    EXPECT_EQ(r.injected, cfg.injections);
+    EXPECT_GT(r.trialErrors, 0u);
+    EXPECT_EQ(r.masked + r.noisy + r.sdc + r.trialErrors, r.injected);
+}
