@@ -14,6 +14,12 @@
  *
  * Honors FH_BENCH (default 400.perl, matching the recorded baseline),
  * FH_INJECTIONS (default 2000), FH_WINDOW, FH_SEED, FH_GOLDEN_FORK.
+ *
+ * FH_DIST_WORKERS=N adds a multi-PROCESS row: the same campaign run
+ * through the distributed fabric (in-process coordinator, N forked
+ * worker processes on a loopback socket), which both measures dispatch
+ * overhead against the in-process rows and asserts the merged
+ * classification is bit-identical to the single-thread run.
  */
 
 #include <chrono>
@@ -21,6 +27,10 @@
 #include <cstring>
 #include <vector>
 
+#include "dist/coordinator.hh"
+#include "dist/spawner.hh"
+#include "dist/spec.hh"
+#include "dist/worker.hh"
 #include "harness.hh"
 
 using namespace fh;
@@ -31,6 +41,7 @@ namespace
 struct Run
 {
     unsigned threads = 1;
+    unsigned processes = 0; ///< 0 = in-process; else distributed
     double seconds = 0.0;
     fault::CampaignResult result;
 };
@@ -120,6 +131,74 @@ main()
         runs.push_back(std::move(run));
     }
 
+    // Optional distributed row: same campaign through the fabric,
+    // with real forked worker processes. Trial frames deliberately
+    // omit the nondeterministic phase times, so this row reports
+    // wall-clock and throughput only — and doubles as a determinism
+    // check against the single-thread row.
+    const unsigned distWorkers = static_cast<unsigned>(
+        bench::envU64("FH_DIST_WORKERS", 0));
+    if (distWorkers > 0) {
+        dist::CampaignSpec dspec;
+        dspec.bench = bench_name;
+        dspec.scheme = "faulthound";
+        dspec.workload = spec;
+        dspec.campaign = cfg;
+        dspec.campaign.threads = 1;
+        dspec.campaign.journalPath.clear();
+
+        std::fprintf(stderr,
+                     "campaign throughput: %s, %llu injections, %u "
+                     "worker process(es) via dispatch fabric...\n",
+                     bench_name.c_str(),
+                     static_cast<unsigned long long>(cfg.injections),
+                     distWorkers);
+        const auto t0 = std::chrono::steady_clock::now();
+        dist::CoordinatorOptions copts;
+        copts.workers = distWorkers;
+        dist::Coordinator coord(dspec, copts);
+        const dist::Endpoint ep = coord.endpoint();
+        std::vector<pid_t> pids;
+        for (unsigned i = 0; i < distWorkers; ++i) {
+            const pid_t pid = dist::spawnFn([ep] {
+                dist::WorkerOptions w;
+                w.endpoint = ep;
+                return dist::runWorker(w);
+            });
+            pids.push_back(pid);
+            coord.addChild(pid);
+        }
+        Run run;
+        run.result = coord.run(nullptr);
+        for (pid_t pid : pids)
+            dist::reap(pid);
+        run.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        run.threads = 1;
+        run.processes = distWorkers;
+        const double tps =
+            run.seconds > 0
+                ? static_cast<double>(run.result.injected) / run.seconds
+                : 0.0;
+        std::fprintf(stderr, "  %.1f trials/s (%.2f s)\n", tps,
+                     run.seconds);
+
+        const fault::CampaignResult &a = runs.front().result;
+        const fault::CampaignResult &b = run.result;
+        if (a.injected != b.injected || a.masked != b.masked ||
+            a.noisy != b.noisy || a.sdc != b.sdc ||
+            a.recovered != b.recovered || a.detected != b.detected ||
+            a.uncovered != b.uncovered ||
+            a.trialErrors != b.trialErrors) {
+            std::fprintf(stderr,
+                         "FATAL: distributed classification diverges "
+                         "from the in-process run\n");
+            return 1;
+        }
+        runs.push_back(std::move(run));
+    }
+
     const std::string json = bench::envStr("FH_JSON", "-");
     std::FILE *out = json == "-" ? stdout : std::fopen(json.c_str(), "w");
     if (!out) {
@@ -144,6 +223,8 @@ main()
                 : 0.0;
         std::fprintf(out, "    {\n");
         std::fprintf(out, "      \"worker_threads\": %u,\n", run.threads);
+        std::fprintf(out, "      \"worker_processes\": %u,\n",
+                     run.processes);
         std::fprintf(out, "      \"elapsed_seconds\": %.3f,\n",
                      run.seconds);
         std::fprintf(out, "      \"trials_per_second\": %.1f,\n", tps);

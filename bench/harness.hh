@@ -19,6 +19,11 @@
  *                  run many campaign cells would contend for the file)
  *   FH_TRIAL_TIMEOUT_MS  per-trial wall-clock budget; overruns are
  *                  isolated and counted as trial errors
+ *   FH_DIST_WORKERS  bench_campaign_throughput only: add a row run
+ *                  through the distributed fabric with this many
+ *                  forked worker processes (coordinator in-process,
+ *                  loopback socket) — measures dispatch overhead and
+ *                  re-checks bit-identical classification
  *
  * The campaign-heavy harnesses additionally parallelize across their
  * independent scheme/size/benchmark cells, splitting the FH_THREADS

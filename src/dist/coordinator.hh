@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Campaign coordinator: shards the trial-index space into contiguous
+ * range leases across however many workers connect, merges their trial
+ * records back in trial order, and re-issues the unacknowledged part
+ * of a dead or hung worker's lease to a live worker.
+ *
+ * Bit-identical merge: each trial's counter deltas are a pure function
+ * of (spec, trial index) — see fault::CampaignSession — so the merge
+ * only has to restore trial order. Within one lease, records arrive in
+ * order on one TCP stream; across leases, a stash holds early records
+ * until the contiguous prefix reaches them. Counters, journal bytes
+ * and FH_JSON classification counts therefore equal a single-process
+ * run's for any worker count, any chunk size, and any interleaving —
+ * including across worker deaths, because a lease's acknowledged
+ * prefix is exactly what was merged and the re-issued remainder
+ * re-executes trials whose records were never ingested.
+ *
+ * Elasticity: leases are granted from a sorted queue of chunks,
+ * lowest first, one outstanding lease per worker. A worker death
+ * (EOF/error) or lease timeout (heartbeat silence) requeues
+ * [acknowledged, end) at its sorted position; late joiners are
+ * welcomed at any time (Hello -> Spec -> Assign). The coordinator is
+ * single-threaded around poll(2) — no locks, no shared state with
+ * worker processes beyond the protocol itself.
+ */
+
+#ifndef FH_DIST_COORDINATOR_HH
+#define FH_DIST_COORDINATOR_HH
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "dist/spec.hh"
+#include "dist/wire.hh"
+#include "fault/campaign.hh"
+#include "fault/journal.hh"
+
+namespace fh::exec
+{
+class ProgressMeter;
+} // namespace fh::exec
+
+namespace fh::dist
+{
+
+struct CoordinatorOptions
+{
+    /** Where to listen; port 0 picks an ephemeral port (read it back
+     *  via Coordinator::endpoint() before spawning workers). */
+    Endpoint listen{false, "127.0.0.1", 0};
+    /** Expected worker count — only sizes the auto chunk; more or
+     *  fewer workers may actually join. */
+    unsigned workers = 1;
+    /** Trials per lease; 0 = auto (~4 leases per expected worker). */
+    u64 chunk = 0;
+    /** Heartbeat silence after which a worker's lease is revoked and
+     *  re-issued. Generous: heartbeats flow even while a worker
+     *  grinds one slow trial, so silence really means hung/dead. */
+    u64 leaseTimeoutMs = 10000;
+    /** Give up (fatal) after this long with work outstanding and not
+     *  a single live worker. */
+    u64 noWorkerTimeoutMs = 120000;
+    exec::ProgressMeter *progress = nullptr; ///< ticked per merged trial
+    /** Test hook: behave as if SIGTERM arrived once this many trials
+     *  have been merged; 0 = never. */
+    u64 stopAfterMerged = 0;
+};
+
+struct DistStats
+{
+    unsigned workersJoined = 0;
+    unsigned workersDied = 0; ///< EOF, protocol violation, or timeout
+    u64 rangesIssued = 0;
+    u64 rangesReissued = 0;
+    u64 trialsMerged = 0;
+};
+
+class Coordinator
+{
+  public:
+    /** Binds and listens immediately (fatal on failure), so workers
+     *  can be spawned against endpoint() before run() is entered. */
+    Coordinator(const CampaignSpec &spec,
+                const CoordinatorOptions &opts);
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    const Endpoint &endpoint() const { return listen_; }
+
+    /** Subprocess to forward shutdown signals to (dispatch mode). */
+    void addChild(pid_t pid);
+
+    /**
+     * Drive the campaign to completion (or to a drained shutdown —
+     * the result is then marked partial). journal may be null; when
+     * set, merged records are appended in trial order and the
+     * journaled prefix is replayed upfront, exactly like a
+     * single-process runCampaign.
+     */
+    fault::CampaignResult run(fault::TrialJournal *journal);
+
+    const DistStats &stats() const { return stats_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Range
+    {
+        u64 begin;
+        u64 end;
+    };
+
+    struct Conn
+    {
+        int fd = -1;
+        FrameReader reader;
+        bool helloed = false;
+        bool hasLease = false;
+        Range lease{0, 0};
+        u64 leaseNext = 0; ///< acknowledged contiguous prefix
+        u64 pid = 0;
+        Clock::time_point lastHeard;
+    };
+
+    void acceptNew();
+    void readFrom(Conn &c);
+    bool handleFrame(Conn &c, const Frame &f);
+    void dropConn(Conn &c, const char *why);
+    void requeue(Range r);
+    void issueLeases();
+    void applyHalt(u64 haltTrial);
+    void drainStash(fault::TrialJournal *journal);
+    void beginShutdown();
+    bool outstandingWork() const;
+
+    CampaignSpec spec_;
+    CoordinatorOptions opts_;
+    Endpoint listen_;
+    int listenFd_ = -1;
+    std::vector<Conn> conns_;
+    std::vector<pid_t> children_;
+
+    std::deque<Range> queue_; ///< sorted by begin, non-overlapping
+    std::map<u64, fault::CampaignResult> stash_;
+    u64 mergedNext_ = 0;
+    u64 effectiveEnd_ = 0; ///< injections, shrunk by a halt report
+    bool shuttingDown_ = false;
+    fault::CampaignResult result_;
+    DistStats stats_;
+};
+
+} // namespace fh::dist
+
+#endif // FH_DIST_COORDINATOR_HH

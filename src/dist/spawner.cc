@@ -1,0 +1,72 @@
+#include "dist/spawner.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fh::dist
+{
+
+std::string
+selfExe()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return {};
+    buf[n] = '\0';
+    return buf;
+}
+
+pid_t
+spawnExec(const std::vector<std::string> &argv)
+{
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+        ::dup2(devnull, 0);
+        ::close(devnull);
+    }
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+}
+
+pid_t
+spawnFn(const std::function<int()> &fn)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    _exit(fn());
+}
+
+bool
+reapIfExited(pid_t pid, int &status)
+{
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    return r == pid;
+}
+
+int
+reap(pid_t pid)
+{
+    int status = 0;
+    pid_t r;
+    do {
+        r = ::waitpid(pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    return r == pid ? status : -1;
+}
+
+} // namespace fh::dist

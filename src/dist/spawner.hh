@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Local worker spawner: fork+exec for fhsim's dispatch mode, fork+fn
+ * for tests and benches that want a real worker *process* (its own
+ * shutdown flag, its own sockets, killable with signal 9) without
+ * depending on a binary path.
+ */
+
+#ifndef FH_DIST_SPAWNER_HH
+#define FH_DIST_SPAWNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace fh::dist
+{
+
+/** Absolute path of the running binary (/proc/self/exe). */
+std::string selfExe();
+
+/** fork + exec argv[0] with the given arguments; the child's stdin is
+ *  /dev/null. Returns the child pid, or -1 on failure. */
+pid_t spawnExec(const std::vector<std::string> &argv);
+
+/** fork; the child runs fn() and _exit()s with its return value (no
+ *  atexit handlers, no flushing parent-inherited buffers twice).
+ *  Returns the child pid, or -1 on failure. */
+pid_t spawnFn(const std::function<int()> &fn);
+
+/** Non-blocking reap: true if the child has exited (status filled). */
+bool reapIfExited(pid_t pid, int &status);
+
+/** Blocking reap; returns the exit status (or -1 on waitpid error). */
+int reap(pid_t pid);
+
+} // namespace fh::dist
+
+#endif // FH_DIST_SPAWNER_HH

@@ -1,0 +1,340 @@
+#include "dist/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fh::dist
+{
+
+/* ------------------------------------------------------------------ */
+/* Encode / decode.                                                   */
+
+void
+putU8(std::vector<u8> &buf, u8 v)
+{
+    buf.push_back(v);
+}
+
+void
+putU32(std::vector<u8> &buf, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<u8> &buf, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void
+putDouble(std::vector<u8> &buf, double v)
+{
+    u64 bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(buf, bits);
+}
+
+void
+putString(std::vector<u8> &buf, const std::string &s)
+{
+    putU32(buf, static_cast<u32>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+}
+
+bool
+Cursor::take(size_t n, const u8 *&out)
+{
+    if (fail_ || left_ < n) {
+        fail_ = true;
+        return false;
+    }
+    out = p_;
+    p_ += n;
+    left_ -= n;
+    return true;
+}
+
+u8
+Cursor::u8v()
+{
+    const u8 *p;
+    return take(1, p) ? *p : 0;
+}
+
+u32
+Cursor::u32v()
+{
+    const u8 *p;
+    if (!take(4, p))
+        return 0;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<u32>(p[i]) << (8 * i);
+    return v;
+}
+
+u64
+Cursor::u64v()
+{
+    const u8 *p;
+    if (!take(8, p))
+        return 0;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
+}
+
+double
+Cursor::doublev()
+{
+    const u64 bits = u64v();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+Cursor::stringv()
+{
+    const u32 n = u32v();
+    const u8 *p;
+    if (!take(n, p))
+        return {};
+    return std::string(reinterpret_cast<const char *>(p), n);
+}
+
+std::vector<u8>
+encodeFrame(MsgType type, const std::vector<u8> &payload)
+{
+    std::vector<u8> out;
+    out.reserve(kLengthBytes + 1 + payload.size());
+    putU32(out, static_cast<u32>(1 + payload.size()));
+    putU8(out, static_cast<u8>(type));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+FrameReader::feed(const u8 *data, size_t n)
+{
+    // Drop the consumed prefix before growing; the buffer stays at
+    // most one partial frame plus one read() worth of bytes.
+    if (pos_ > 0) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+bool
+FrameReader::next(Frame &out)
+{
+    if (corrupt_)
+        return false;
+    const size_t avail = buf_.size() - pos_;
+    if (avail < kLengthBytes)
+        return false;
+    Cursor len(buf_.data() + pos_, kLengthBytes);
+    const u32 length = len.u32v();
+    if (length == 0 || length > kMaxFrame) {
+        corrupt_ = true;
+        return false;
+    }
+    if (avail < kLengthBytes + length)
+        return false; // torn tail: wait for the rest (or EOF drops it)
+    const u8 *body = buf_.data() + pos_ + kLengthBytes;
+    out.type = body[0];
+    out.payload.assign(body + 1, body + length);
+    pos_ += kLengthBytes + length;
+    return true;
+}
+
+/* ------------------------------------------------------------------ */
+/* Sockets.                                                           */
+
+std::string
+Endpoint::str() const
+{
+    if (unixDomain)
+        return "unix:" + host;
+    return host + ":" + std::to_string(port);
+}
+
+bool
+parseEndpoint(const std::string &text, Endpoint &out,
+              std::string &error)
+{
+    if (text.rfind("unix:", 0) == 0) {
+        out.unixDomain = true;
+        out.host = text.substr(5);
+        out.port = 0;
+        if (out.host.empty()) {
+            error = "empty unix socket path in '" + text + "'";
+            return false;
+        }
+        if (out.host.size() >= sizeof(sockaddr_un{}.sun_path)) {
+            error = "unix socket path too long in '" + text + "'";
+            return false;
+        }
+        return true;
+    }
+    const auto colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= text.size()) {
+        error = "expected host:port or unix:/path, got '" + text + "'";
+        return false;
+    }
+    out.unixDomain = false;
+    out.host = text.substr(0, colon);
+    char *end = nullptr;
+    const unsigned long port =
+        std::strtoul(text.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || port > 65535) {
+        error = "bad port in '" + text + "'";
+        return false;
+    }
+    out.port = static_cast<u16>(port);
+    return true;
+}
+
+namespace
+{
+
+bool
+fillSockaddr(const Endpoint &ep, sockaddr_storage &ss, socklen_t &len,
+             std::string &error)
+{
+    std::memset(&ss, 0, sizeof(ss));
+    if (ep.unixDomain) {
+        auto *sun = reinterpret_cast<sockaddr_un *>(&ss);
+        sun->sun_family = AF_UNIX;
+        std::strncpy(sun->sun_path, ep.host.c_str(),
+                     sizeof(sun->sun_path) - 1);
+        len = sizeof(sockaddr_un);
+        return true;
+    }
+    auto *sin = reinterpret_cast<sockaddr_in *>(&ss);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(ep.port);
+    if (inet_pton(AF_INET, ep.host.c_str(), &sin->sin_addr) != 1) {
+        error = "bad IPv4 address '" + ep.host + "'";
+        return false;
+    }
+    len = sizeof(sockaddr_in);
+    return true;
+}
+
+} // namespace
+
+int
+listenOn(Endpoint &ep, std::string &error)
+{
+    sockaddr_storage ss;
+    socklen_t len = 0;
+    if (!fillSockaddr(ep, ss, len, error))
+        return -1;
+    const int fd =
+        ::socket(ep.unixDomain ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (!ep.unixDomain) {
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    } else {
+        ::unlink(ep.host.c_str()); // stale path from a previous run
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&ss), len) != 0 ||
+        ::listen(fd, 64) != 0) {
+        error = std::string("bind/listen ") + ep.str() + ": " +
+                std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (!ep.unixDomain && ep.port == 0) {
+        sockaddr_in bound;
+        socklen_t blen = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &blen) == 0)
+            ep.port = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+int
+connectTo(const Endpoint &ep, std::string &error)
+{
+    sockaddr_storage ss;
+    socklen_t len = 0;
+    if (!fillSockaddr(ep, ss, len, error))
+        return -1;
+    const int fd =
+        ::socket(ep.unixDomain ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&ss), len);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        error = std::string("connect ") + ep.str() + ": " +
+                std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (!ep.unixDomain) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Coordinator fds are non-blocking for reads; frames
+                // are small, so just wait for buffer space.
+                pollfd pfd{fd, POLLOUT, 0};
+                ::poll(&pfd, 1, 1000);
+                continue;
+            }
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, MsgType type, const std::vector<u8> &payload)
+{
+    const std::vector<u8> frame = encodeFrame(type, payload);
+    return sendAll(fd, frame.data(), frame.size());
+}
+
+} // namespace fh::dist

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Wire layer of the distributed campaign fabric: length-prefixed
+ * frames over a stream socket, plus the small socket helpers the
+ * coordinator and workers share.
+ *
+ * A frame is `u32 length (LE) | u8 type | payload`, where length
+ * counts the type byte plus the payload. The format is deliberately
+ * trivial: trial records are ~150 bytes, the campaign spec is a few
+ * hundred, and the fabric's correctness rests on *framing* (a
+ * coordinator must never act on half a record from a worker that died
+ * mid-write), not on encoding cleverness. FrameReader is incremental
+ * and tolerant of torn tails — bytes short of a full frame simply wait
+ * for more input, and a stream that ends inside a frame yields the
+ * complete prefix and nothing else. Only an impossible length (zero,
+ * or beyond kMaxFrame) marks the stream corrupt, at which point the
+ * peer is treated as dead.
+ *
+ * Endpoints are `host:port` TCP (IPv4) or `unix:/path` domain
+ * sockets. All sockets are used blocking on the worker side; the
+ * coordinator multiplexes non-blocking reads under poll(2).
+ */
+
+#ifndef FH_DIST_WIRE_HH
+#define FH_DIST_WIRE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fh::dist
+{
+
+/** Frame types. The numeric values are the protocol; never reuse. */
+enum class MsgType : u8
+{
+    Hello = 1,     ///< worker -> coordinator, once, on connect
+    Spec = 2,      ///< coordinator -> worker: canonical campaign spec
+    Assign = 3,    ///< coordinator -> worker: lease one trial range
+    Trial = 4,     ///< worker -> coordinator: one completed trial
+    RangeDone = 5, ///< worker -> coordinator: lease finished
+    Heartbeat = 6, ///< worker -> coordinator: liveness + position
+    Shutdown = 7,  ///< coordinator -> worker: drain and exit
+};
+
+/** Sanity bound on a frame's length field; a peer advertising more is
+ *  corrupt (the largest legitimate frame — the spec — is < 4 KiB). */
+constexpr u32 kMaxFrame = 1u << 20;
+
+/** Bytes of the `u32 length` prefix. */
+constexpr size_t kLengthBytes = 4;
+
+struct Frame
+{
+    u8 type = 0;
+    std::vector<u8> payload;
+};
+
+/* ------------------------------------------------------------------ */
+/* Payload encode/decode primitives (little-endian, append-style).    */
+
+void putU8(std::vector<u8> &buf, u8 v);
+void putU32(std::vector<u8> &buf, u32 v);
+void putU64(std::vector<u8> &buf, u64 v);
+void putDouble(std::vector<u8> &buf, double v); ///< bit pattern, LE
+/** u32 length + raw bytes. */
+void putString(std::vector<u8> &buf, const std::string &s);
+
+/**
+ * Bounds-checked sequential reader over a payload. Any read past the
+ * end latches fail() and returns zero values, so decoders can read
+ * unconditionally and check once at the end — a malformed payload can
+ * never read out of bounds or be half-applied.
+ */
+class Cursor
+{
+  public:
+    Cursor(const u8 *data, size_t size) : p_(data), left_(size) {}
+    explicit Cursor(const std::vector<u8> &payload)
+        : Cursor(payload.data(), payload.size())
+    {
+    }
+
+    u8 u8v();
+    u32 u32v();
+    u64 u64v();
+    double doublev();
+    std::string stringv();
+
+    bool fail() const { return fail_; }
+    /** True when every byte was consumed and nothing overran. */
+    bool done() const { return !fail_ && left_ == 0; }
+
+  private:
+    bool take(size_t n, const u8 *&out);
+
+    const u8 *p_;
+    size_t left_;
+    bool fail_ = false;
+};
+
+/** Serialize one frame (length prefix included). */
+std::vector<u8> encodeFrame(MsgType type,
+                            const std::vector<u8> &payload);
+
+/**
+ * Incremental frame parser. feed() raw bytes as they arrive; next()
+ * yields complete frames in order. See the file comment for torn-tail
+ * semantics.
+ */
+class FrameReader
+{
+  public:
+    void feed(const u8 *data, size_t n);
+    /** Pop the next complete frame; false if none (or corrupt). */
+    bool next(Frame &out);
+    /** The stream advertised an impossible frame length; no further
+     *  frames will be produced. */
+    bool corrupt() const { return corrupt_; }
+    /** Bytes buffered but not yet forming a complete frame. */
+    size_t pendingBytes() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<u8> buf_;
+    size_t pos_ = 0; ///< consumed prefix of buf_
+    bool corrupt_ = false;
+};
+
+/* ------------------------------------------------------------------ */
+/* Sockets.                                                           */
+
+/** `host:port` (TCP) or `unix:/path` (domain socket). */
+struct Endpoint
+{
+    bool unixDomain = false;
+    std::string host; ///< or socket path when unixDomain
+    u16 port = 0;
+
+    std::string str() const;
+};
+
+/** Parse an endpoint string; false (with error) on malformed input. */
+bool parseEndpoint(const std::string &text, Endpoint &out,
+                   std::string &error);
+
+/**
+ * Bind + listen on the endpoint (port 0 = ephemeral; the actually
+ * bound port is written back into ep.port). Returns the listening fd,
+ * or -1 with error set.
+ */
+int listenOn(Endpoint &ep, std::string &error);
+
+/** Connect to the endpoint; returns fd or -1 with error set. */
+int connectTo(const Endpoint &ep, std::string &error);
+
+/** Write all n bytes (handles short writes, EINTR; no SIGPIPE).
+ *  False once the peer is gone. */
+bool sendAll(int fd, const void *data, size_t n);
+
+/** encodeFrame + sendAll. */
+bool sendFrame(int fd, MsgType type, const std::vector<u8> &payload);
+
+} // namespace fh::dist
+
+#endif // FH_DIST_WIRE_HH

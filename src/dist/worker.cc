@@ -1,0 +1,242 @@
+#include "dist/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dist/messages.hh"
+#include "dist/spec.hh"
+#include "exec/interrupt.hh"
+#include "fault/campaign.hh"
+#include "fault/journal.hh"
+#include "sim/logging.hh"
+
+namespace fh::dist
+{
+
+namespace
+{
+
+/** Shared state between the socket threads and the session loop. */
+struct WorkerState
+{
+    int fd = -1;
+    std::mutex sendMu; ///< trial/heartbeat/done frames never interleave
+    std::atomic<u64> position{0};
+    std::atomic<bool> done{false};
+
+    std::mutex qMu;
+    std::condition_variable qCv;
+    std::deque<Frame> inbox;
+    bool eof = false;
+
+    void push(Frame f)
+    {
+        {
+            std::lock_guard<std::mutex> lk(qMu);
+            inbox.push_back(std::move(f));
+        }
+        qCv.notify_all();
+    }
+
+    void markEof()
+    {
+        {
+            std::lock_guard<std::mutex> lk(qMu);
+            eof = true;
+        }
+        qCv.notify_all();
+    }
+};
+
+/** Blocking socket reads -> inbox. A Shutdown frame latches the
+ *  process shutdown flag immediately so the session's stop checks
+ *  fire mid-range; so does EOF or a corrupt stream (a dead
+ *  coordinator must not leave the worker grinding on). */
+void
+receiverLoop(WorkerState &st)
+{
+    FrameReader reader;
+    u8 buf[4096];
+    while (true) {
+        const ssize_t n = ::recv(st.fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        reader.feed(buf, static_cast<size_t>(n));
+        Frame f;
+        while (reader.next(f)) {
+            if (static_cast<MsgType>(f.type) == MsgType::Shutdown)
+                exec::requestShutdown();
+            st.push(std::move(f));
+        }
+        if (reader.corrupt())
+            break;
+    }
+    exec::requestShutdown();
+    st.markEof();
+}
+
+void
+heartbeatLoop(WorkerState &st, u64 periodMs)
+{
+    while (!st.done.load(std::memory_order_relaxed)) {
+        {
+            std::lock_guard<std::mutex> lk(st.sendMu);
+            HeartbeatMsg hb;
+            hb.position = st.position.load(std::memory_order_relaxed);
+            if (!sendFrame(st.fd, MsgType::Heartbeat, hb.encode()))
+                break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(periodMs));
+    }
+}
+
+} // namespace
+
+int
+runWorker(const WorkerOptions &opts)
+{
+    exec::installShutdownHandlers();
+
+    WorkerState st;
+    std::string error;
+    st.fd = connectTo(opts.endpoint, error);
+    if (st.fd < 0) {
+        fh_warn("worker: %s", error.c_str());
+        return 1;
+    }
+
+    {
+        HelloMsg hello;
+        hello.pid = static_cast<u64>(::getpid());
+        std::lock_guard<std::mutex> lk(st.sendMu);
+        if (!sendFrame(st.fd, MsgType::Hello, hello.encode())) {
+            ::close(st.fd);
+            return 1;
+        }
+    }
+
+    std::thread receiver([&st] { receiverLoop(st); });
+    std::thread heartbeat(
+        [&st, &opts] { heartbeatLoop(st, opts.heartbeatMs); });
+
+    // The session is built from the Spec frame and rebuilt from
+    // scratch only when a stolen (re-issued) lease lies behind the
+    // current position — ranges must be visited forward within one
+    // session. cfg.threads is host-local; everything deterministic
+    // comes from the spec.
+    CampaignSpec spec;
+    bool haveSpec = false;
+    std::unique_ptr<isa::Program> prog;
+    pipeline::CoreParams params;
+    fault::CampaignConfig ccfg;
+    std::unique_ptr<fault::CampaignSession> session;
+
+    int rc = 0;
+    while (true) {
+        Frame f;
+        {
+            // Timed wait: a signal delivered straight to an idle
+            // worker (process-group ^C) latches the flag without
+            // notifying the cv, so poll it.
+            std::unique_lock<std::mutex> lk(st.qMu);
+            st.qCv.wait_for(lk, std::chrono::milliseconds(100),
+                            [&st] {
+                                return !st.inbox.empty() || st.eof;
+                            });
+            if (st.inbox.empty()) {
+                if (st.eof || exec::shutdownRequested())
+                    break;
+                continue;
+            }
+            f = std::move(st.inbox.front());
+            st.inbox.pop_front();
+        }
+
+        switch (static_cast<MsgType>(f.type)) {
+        case MsgType::Spec: {
+            SpecMsg msg;
+            if (!SpecMsg::decode(f.payload, msg) ||
+                !CampaignSpec::decode(msg.text, spec, error)) {
+                fh_warn("worker: bad campaign spec: %s", error.c_str());
+                rc = 1;
+                exec::requestShutdown();
+                break;
+            }
+            prog = std::make_unique<isa::Program>(spec.buildProgram());
+            params = spec.buildParams();
+            ccfg = spec.campaign;
+            ccfg.threads = opts.jobs;
+            ccfg.journalPath.clear();
+            ccfg.progress = nullptr;
+            haveSpec = true;
+            break;
+        }
+        case MsgType::Assign: {
+            AssignMsg a;
+            if (!AssignMsg::decode(f.payload, a) || !haveSpec) {
+                fh_warn("worker: bad assign frame");
+                rc = 1;
+                exec::requestShutdown();
+                break;
+            }
+            if (!session || a.begin < session->position()) {
+                session = std::make_unique<fault::CampaignSession>(
+                    params, prog.get(), ccfg);
+                st.position.store(0, std::memory_order_relaxed);
+            }
+            fault::RangeOutcome out = session->runRange(
+                a.begin, a.end,
+                [&](u64 trial, const fault::CampaignResult &delta) {
+                    TrialMsg t;
+                    t.trial = trial;
+                    fault::packTrialCounters(delta, t.d);
+                    std::lock_guard<std::mutex> lk(st.sendMu);
+                    sendFrame(st.fd, MsgType::Trial, t.encode());
+                    st.position.store(trial + 1,
+                                      std::memory_order_relaxed);
+                });
+            RangeDoneMsg doneMsg;
+            doneMsg.nextTrial = out.nextTrial;
+            doneMsg.halted = out.halted;
+            doneMsg.stopped = out.stopped;
+            {
+                std::lock_guard<std::mutex> lk(st.sendMu);
+                sendFrame(st.fd, MsgType::RangeDone, doneMsg.encode());
+            }
+            break;
+        }
+        case MsgType::Shutdown:
+            // The receiver already latched the flag; just fall out.
+            break;
+        default:
+            fh_warn("worker: unexpected frame type %u",
+                    static_cast<unsigned>(f.type));
+            break;
+        }
+
+        if (exec::shutdownRequested()) {
+            std::lock_guard<std::mutex> lk(st.qMu);
+            if (st.inbox.empty())
+                break;
+        }
+    }
+
+    st.done.store(true, std::memory_order_relaxed);
+    // Unblock the receiver's recv() and stop further sends.
+    ::shutdown(st.fd, SHUT_RDWR);
+    receiver.join();
+    heartbeat.join();
+    ::close(st.fd);
+    return rc;
+}
+
+} // namespace fh::dist

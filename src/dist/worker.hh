@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Campaign worker: connects to a coordinator, receives the campaign
+ * spec, and executes leased trial ranges through a CampaignSession,
+ * streaming each completed trial's counter deltas back in trial order.
+ *
+ * Threads: the main thread runs the session (and owns the socket for
+ * ordered sends); a receiver thread blocks on the socket so a Shutdown
+ * frame (or coordinator death) latches the process shutdown flag even
+ * mid-range — the session's own stop checks then drain the range; a
+ * heartbeat thread proves liveness independently of trial completion,
+ * so a worker grinding one slow fork is distinguishable from a hung
+ * one. All sends go through one mutex: frames never interleave.
+ */
+
+#ifndef FH_DIST_WORKER_HH
+#define FH_DIST_WORKER_HH
+
+#include "dist/wire.hh"
+
+namespace fh::dist
+{
+
+struct WorkerOptions
+{
+    Endpoint endpoint;
+    /** Host threads for the per-trial forks (CampaignConfig::threads);
+     *  0 = one per hardware thread. */
+    unsigned jobs = 1;
+    u64 heartbeatMs = 300;
+};
+
+/**
+ * Run a worker to completion (coordinator sent Shutdown, the socket
+ * closed, or a local SIGINT/SIGTERM drained it). Returns a process
+ * exit code: 0 on a clean drain, 1 on connect/protocol failure.
+ */
+int runWorker(const WorkerOptions &opts);
+
+} // namespace fh::dist
+
+#endif // FH_DIST_WORKER_HH

@@ -12,11 +12,13 @@ namespace
 /** sig_atomic_t for the handler, mirrored into an atomic for readers
  *  on other threads. */
 volatile std::sig_atomic_t g_signalled = 0;
+volatile std::sig_atomic_t g_signal_no = 0;
 std::atomic<bool> g_shutdown{false};
 
 extern "C" void
 onShutdownSignal(int sig)
 {
+    g_signal_no = sig;
     g_signalled = 1;
     g_shutdown.store(true, std::memory_order_relaxed);
     // One polite request only: restore the default disposition so a
@@ -46,10 +48,17 @@ requestShutdown()
     g_shutdown.store(true, std::memory_order_relaxed);
 }
 
+int
+shutdownSignal()
+{
+    return static_cast<int>(g_signal_no);
+}
+
 void
 clearShutdown()
 {
     g_signalled = 0;
+    g_signal_no = 0;
     g_shutdown.store(false, std::memory_order_relaxed);
 }
 

@@ -29,6 +29,14 @@ bool shutdownRequested();
 /** Latch the shutdown flag without a signal (tests, embedders). */
 void requestShutdown();
 
+/**
+ * The signal that latched the flag, or 0 when none did (programmatic
+ * request, or no shutdown yet). The distributed dispatcher uses this
+ * to forward the *same* signal to its worker subprocesses, so a
+ * session-level SIGTERM and an interactive ^C propagate faithfully.
+ */
+int shutdownSignal();
+
 /** Clear the flag (tests that simulate several interrupted runs). */
 void clearShutdown();
 

@@ -300,71 +300,144 @@ runTrialGuarded(const CampaignConfig &cfg, const Trial &t,
     }
 }
 
-/**
- * Legacy campaign loop: produce a batch of snapshots, run each
- * trial's golden + faulty forks on the pool, merge in trial order.
- */
-CampaignResult
-runCampaignGoldenFork(const pipeline::CoreParams &params,
-                      const CampaignConfig &cfg, pipeline::Core &master,
-                      TrialJournal *journal)
-{
-    Rng gapRng(cfg.seed);
-    CampaignResult result;
-    CampaignPhases produced;
+} // namespace
 
-    const unsigned threads = exec::resolveThreads(cfg.threads);
-    exec::ThreadPool pool(threads);
-    // Trials are produced serially (the master must advance in order)
-    // and executed in batches. The batch size bounds how many master
-    // snapshots — each a full machine copy — are live at once, while
-    // keeping every worker fed with a few trials.
-    const u64 batch_cap = std::max<u64>(u64{threads} * 4, 8);
+/**
+ * All loop state of the original runCampaign loops, held across
+ * runRange calls so a distributed worker can execute its leased
+ * ranges incrementally. One Impl serves both golden modes; the
+ * ledger members stay empty in golden-fork mode.
+ */
+struct CampaignSession::Impl
+{
+    struct Pending
+    {
+        Trial t;
+        u32 slot;
+    };
+
+    Impl(const pipeline::CoreParams &params_in, const isa::Program *prog,
+         const CampaignConfig &cfg_in)
+        : params(params_in),
+          cfg(cfg_in),
+          master(params_in, prog),
+          gapRng(cfg_in.seed),
+          threads(exec::resolveThreads(cfg_in.threads)),
+          pool(threads),
+          batchCap(std::max<u64>(u64{threads} * 4, 8))
+    {
+        // Warm up caches, predictors and filters.
+        while (master.committedTotal() < cfg.warmupInsts &&
+               !master.allHalted()) {
+            master.tick();
+        }
+        if (master.allHalted())
+            fh_fatal("workload '%s' halted during warmup; "
+                     "increase its iteration count",
+                     prog->name.c_str());
+
+        useLedger =
+            !cfg.forceGoldenFork && GoldenLedger::supports(master, *prog);
+        if (useLedger) {
+            ledger = std::make_unique<GoldenLedger>(master);
+            master.setCommitObserver(ledger.get());
+        }
+        batch.reserve(batchCap);
+        partial.resize(batchCap);
+        wave.reserve(batchCap + 8);
+    }
+
+    ~Impl()
+    {
+        if (useLedger)
+            master.setCommitObserver(nullptr);
+    }
+
+    bool stopRequested() const
+    {
+        return exec::shutdownRequested() ||
+               (cfg.stopAfterTrials && executed >= cfg.stopAfterTrials);
+    }
+
+    /** Tick the master over one inter-injection gap; true if it ran
+     *  to completion (false = the workload halted inside it). */
+    bool advanceGap()
+    {
+        const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
+        for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
+            master.tick();
+        if (master.allHalted()) {
+            halted = true;
+            return false;
+        }
+        return true;
+    }
+
+    RangeOutcome runRangeGoldenFork(u64 begin, u64 end,
+                                    const TrialSink &sink);
+    RangeOutcome runRangeLedger(u64 begin, u64 end,
+                                const TrialSink &sink);
+
+    pipeline::CoreParams params;
+    CampaignConfig cfg;
+    pipeline::Core master;
+    Rng gapRng;
+    unsigned threads;
+    exec::ThreadPool pool;
+    u64 batchCap;
+    bool useLedger = false;
+    std::unique_ptr<GoldenLedger> ledger;
+
+    u64 trial = 0;    ///< next producible trial index
+    u64 executed = 0; ///< trials actually executed by this session
+    bool halted = false;
 
     // One fixed-size batch of trial slots, allocated once and reused
     // across batches: a slot's snapshot is overwritten in place (COW
     // memory makes both the snapshot and the overwrite cheap), so the
-    // campaign keeps at most batch_cap machine copies live with no
+    // campaign keeps at most batchCap machine copies live with no
     // per-batch reallocation churn.
     std::vector<Trial> batch;
-    batch.reserve(batch_cap);
-    std::vector<CampaignResult> partial(batch_cap);
-    u64 trial = 0;
-    u64 executed = 0; // produced (not journal-replayed) this run
-    bool halted = false;
+    std::vector<CampaignResult> partial;
+    // Ledger mode: produced trials whose windows the master has not
+    // fully crossed yet; bounded by window/minGap in practice.
+    std::deque<Pending> inflight;
+    std::vector<Pending> wave;
+};
+
+/**
+ * Legacy-mode range: produce a batch of snapshots, run each trial's
+ * golden + faulty forks on the pool, merge in trial order.
+ */
+RangeOutcome
+CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
+                                          const TrialSink &sink)
+{
+    RangeOutcome out;
+    CampaignPhases produced;
     bool stopped = false;
-    auto stop_requested = [&] {
-        return exec::shutdownRequested() ||
-               (cfg.stopAfterTrials && executed >= cfg.stopAfterTrials);
-    };
-    while (trial < cfg.injections && !halted && !stopped) {
+
+    while (trial < end && !halted && !stopped) {
         u64 filled = 0;
-        while (filled < batch_cap && trial < cfg.injections) {
+        while (filled < batchCap && trial < end) {
             // Graceful shutdown: stop opening new trials; the batch
-            // filled so far still runs and is journaled (drained).
-            if (stop_requested()) {
+            // filled so far still runs and reaches the sink (drained).
+            if (stopRequested()) {
                 stopped = true;
                 break;
             }
             // Advance the master to the next injection point.
             auto t0 = PhaseClock::now();
-            const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
-            for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
-                master.tick();
+            const bool ran = advanceGap();
             produced.snapshotNs += nsSince(t0);
-            if (master.allHalted()) {
-                halted = true;
+            if (!ran)
                 break;
-            }
 
-            // Resume: a journaled trial's outcome is already known —
-            // the master advanced over its gap (same schedule as the
-            // original run), but no snapshot or fork work is needed.
-            if (journal && trial < journal->replayCount()) {
-                result += journal->replayed(trial);
-                ++result.replayedTrials;
-                if (cfg.progress)
-                    cfg.progress->tick();
+            // Skip-advance: a trial below the range (journal-replayed
+            // by the caller, or leased to another worker) consumed its
+            // gap — same schedule as a full run — but needs no
+            // snapshot or fork work here.
+            if (trial < begin) {
                 ++trial;
                 continue;
             }
@@ -401,65 +474,47 @@ runCampaignGoldenFork(const pipeline::CoreParams &params,
             if (cfg.progress)
                 cfg.progress->tick();
         });
-        // Merge — and journal — in trial (production) order.
-        for (u64 k = 0; k < filled; ++k) {
-            result += partial[k];
-            if (journal)
-                journal->record(batch[k].index, partial[k]);
-        }
+        // Merge — and sink — in trial (production) order.
+        for (u64 k = 0; k < filled; ++k)
+            sink(batch[k].index, partial[k]);
     }
 
-    result.partial = stopped;
-    result.phases += produced;
-    return result;
+    out.nextTrial = trial;
+    out.halted = halted;
+    out.stopped = stopped;
+    out.phases = produced;
+    return out;
 }
 
 /**
- * Ledger campaign loop. The master advances on exactly the legacy
+ * Ledger-mode range. The master advances on exactly the legacy
  * schedule (same gap ticks between the same snapshots, no extra
  * ticks), so the injection points — and therefore every
  * classification — are bit-identical to the golden-fork path. A
  * produced trial waits in a FIFO until the master's own advance
  * crosses all its commit targets (completing its ledger entry,
  * usually within the next trial or two's gaps); completed trials run
- * on the pool in waves. Only after the final snapshot, when no
- * further injection points depend on the master's cycle position,
- * does the producer tick the master extra ("drain") cycles to close
- * the last windows.
+ * on the pool in waves. Windows still open at the end of the range
+ * are closed by extra "drain" ticks — on the real master when nothing
+ * further depends on its cycle position (final range, halt, or
+ * shutdown), and otherwise on a scratch copy, so a later range still
+ * sees the exact single-process schedule. Either way an entry
+ * finalizes at the same commit counts with the same sampled state:
+ * that is the ledger's master-as-golden argument.
  */
-CampaignResult
-runCampaignLedger(const pipeline::CoreParams &params,
-                  const CampaignConfig &cfg, pipeline::Core &master,
-                  TrialJournal *journal)
+RangeOutcome
+CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
+                                      const TrialSink &sink)
 {
-    Rng gapRng(cfg.seed);
-    CampaignResult result;
+    RangeOutcome out;
     CampaignPhases produced;
-
-    GoldenLedger ledger(master);
-    master.setCommitObserver(&ledger);
-
-    const unsigned threads = exec::resolveThreads(cfg.threads);
-    exec::ThreadPool pool(threads);
-    const u64 batch_cap = std::max<u64>(u64{threads} * 4, 8);
-
-    struct Pending
-    {
-        Trial t;
-        u32 slot;
-    };
-    // Produced trials whose windows the master has not fully crossed
-    // yet; bounded by window/minGap in practice, not by batch_cap.
-    std::deque<Pending> inflight;
-    std::vector<Pending> wave;
-    wave.reserve(batch_cap + 8);
-    std::vector<CampaignResult> partial;
+    bool stopped = false;
 
     auto promote = [&] {
         // Entries complete in production order: per-thread targets are
         // nondecreasing, so the FIFO's front always finishes first.
         while (!inflight.empty() &&
-               ledger.complete(inflight.front().slot)) {
+               ledger->complete(inflight.front().slot)) {
             wave.push_back(std::move(inflight.front()));
             inflight.pop_front();
         }
@@ -467,43 +522,33 @@ runCampaignLedger(const pipeline::CoreParams &params,
     auto flushWave = [&] {
         if (wave.empty())
             return;
-        partial.resize(wave.size());
+        partial.resize(std::max(partial.size(), wave.size()));
         pool.parallelFor(wave.size(), [&](u64 k) {
             partial[k] = runTrialGuarded(
                 cfg, wave[k].t, [&](const ForkDeadline *dl) {
                     return runTrialLedger(params, cfg, wave[k].t,
-                                          ledger.entry(wave[k].slot),
+                                          ledger->entry(wave[k].slot),
                                           dl);
                 });
             if (cfg.progress)
                 cfg.progress->tick();
         });
-        // Merge — and journal — in trial (production) order:
+        // Merge — and sink — in trial (production) order:
         // bit-identical for any worker count. Slots free up for the
         // next opens.
         for (size_t k = 0; k < wave.size(); ++k) {
-            result += partial[k];
-            if (journal)
-                journal->record(wave[k].t.index, partial[k]);
-            ledger.release(wave[k].slot);
+            sink(wave[k].t.index, partial[k]);
+            ledger->release(wave[k].slot);
         }
         wave.clear();
     };
 
-    u64 trial = 0;
-    u64 executed = 0; // produced (not journal-replayed) this run
-    bool halted = false;
-    bool stopped = false;
-    auto stop_requested = [&] {
-        return exec::shutdownRequested() ||
-               (cfg.stopAfterTrials && executed >= cfg.stopAfterTrials);
-    };
-    while (trial < cfg.injections && !halted) {
+    while (trial < end && !halted) {
         // Graceful shutdown: stop opening new trials. The in-flight
         // ones drain through the normal tail below — their windows
-        // close, they classify, and they reach the journal — so an
-        // interrupted run's journal is always a clean prefix.
-        if (stop_requested()) {
+        // close, they classify, and they reach the sink — so an
+        // interrupted run's record stream is always a clean prefix.
+        if (stopRequested()) {
             stopped = true;
             break;
         }
@@ -511,24 +556,14 @@ runCampaignLedger(const pipeline::CoreParams &params,
         // legacy schedule. Ledger entries of earlier trials complete
         // passively inside these ticks via the commit observer.
         auto t0 = PhaseClock::now();
-        const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
-        for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
-            master.tick();
+        const bool ran = advanceGap();
         produced.goldenNs += nsSince(t0);
-        if (master.allHalted()) {
-            halted = true;
+        if (!ran)
             break;
-        }
 
-        // Resume: replay a journaled trial's outcome. The master
-        // advanced over its gap exactly as the original run did, so
-        // the machine — and every later trial — is bit-identical; the
-        // forks and the ledger entry are simply not needed again.
-        if (journal && trial < journal->replayCount()) {
-            result += journal->replayed(trial);
-            ++result.replayedTrials;
-            if (cfg.progress)
-                cfg.progress->tick();
+        // Skip-advance (see runRangeGoldenFork): gap consumed, no
+        // snapshot, no ledger entry, no forks.
+        if (trial < begin) {
             ++trial;
             continue;
         }
@@ -541,7 +576,7 @@ runCampaignLedger(const pipeline::CoreParams &params,
             phase = master.pregPhase(plan.preg);
 
         std::vector<u64> targets = windowTargets(master, cfg.window);
-        const u32 slot = ledger.open(targets);
+        const u32 slot = ledger->open(targets);
         inflight.push_back({Trial{master, plan, std::move(targets),
                                   phase, master.detector().stats(),
                                   trial},
@@ -551,23 +586,44 @@ runCampaignLedger(const pipeline::CoreParams &params,
         ++executed;
 
         promote();
-        if (wave.size() >= batch_cap)
+        if (wave.size() >= batchCap)
             flushWave();
     }
 
-    // Drain: the last trials' windows extend past the final snapshot.
-    // The schedule no longer matters (nothing else is snapshotted), so
-    // tick until the youngest entry completes, bounded like a fork.
+    // Drain: the last trials' windows extend past the range's final
+    // snapshot. When this is the campaign's end (or the master halted
+    // / the run was stopped — terminal either way), the schedule no
+    // longer matters and the real master ticks until the youngest
+    // entry completes, bounded like a fork. A non-terminal range
+    // instead drains a scratch copy: identical machine, identical
+    // commit crossings, identical sampled entries — but the real
+    // master stays at its exact schedule position for the next range.
     auto t0 = PhaseClock::now();
     if (!inflight.empty()) {
+        const bool terminal =
+            end >= cfg.injections || halted || stopped;
+        pipeline::Core *drainee = &master;
+        std::unique_ptr<pipeline::Core> scratch;
+        if (!terminal) {
+            scratch = std::make_unique<pipeline::Core>(master);
+            master.setCommitObserver(nullptr);
+            ledger->retarget(*scratch);
+            scratch->setCommitObserver(ledger.get());
+            drainee = scratch.get();
+        }
         Cycle drained = 0;
-        while (!ledger.complete(inflight.back().slot) &&
-               !master.allHalted() && drained < cfg.forkMaxCycles) {
-            master.tick();
+        while (!ledger->complete(inflight.back().slot) &&
+               !drainee->allHalted() && drained < cfg.forkMaxCycles) {
+            drainee->tick();
             ++drained;
         }
-        if (!ledger.complete(inflight.back().slot))
-            ledger.forceFinalizeAll(); // hung master; see GoldenLedger
+        if (!ledger->complete(inflight.back().slot))
+            ledger->forceFinalizeAll(); // hung master; see GoldenLedger
+        if (!terminal) {
+            scratch->setCommitObserver(nullptr);
+            ledger->retarget(master);
+            master.setCommitObserver(ledger.get());
+        }
     }
     produced.goldenNs += nsSince(t0);
 
@@ -575,33 +631,61 @@ runCampaignLedger(const pipeline::CoreParams &params,
     fh_assert(inflight.empty(), "ledger drain left incomplete entries");
     flushWave();
 
-    master.setCommitObserver(nullptr);
-    result.partial = stopped;
-    result.phases += produced;
-    return result;
+    out.nextTrial = trial;
+    out.halted = halted;
+    out.stopped = stopped;
+    out.phases = produced;
+    return out;
 }
 
-} // namespace
+CampaignSession::CampaignSession(const pipeline::CoreParams &params,
+                                 const isa::Program *prog,
+                                 const CampaignConfig &cfg)
+    : impl_(std::make_unique<Impl>(params, prog, cfg))
+{
+}
+
+CampaignSession::~CampaignSession() = default;
+
+u64
+CampaignSession::position() const
+{
+    return impl_->trial;
+}
+
+RangeOutcome
+CampaignSession::runRange(u64 begin, u64 end, const TrialSink &sink)
+{
+    fh_assert(begin >= impl_->trial,
+              "campaign ranges must be visited in increasing order "
+              "(begin %llu < position %llu); build a fresh session",
+              static_cast<unsigned long long>(begin),
+              static_cast<unsigned long long>(impl_->trial));
+    end = std::min(end, impl_->cfg.injections);
+    if (impl_->halted || impl_->trial >= end) {
+        RangeOutcome out;
+        out.nextTrial = impl_->trial;
+        out.halted = impl_->halted;
+        return out;
+    }
+    return impl_->useLedger
+               ? impl_->runRangeLedger(begin, end, sink)
+               : impl_->runRangeGoldenFork(begin, end, sink);
+}
 
 CampaignResult
 runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
             const CampaignConfig &cfg)
 {
-    pipeline::Core master(params, prog);
-
-    // Warm up caches, predictors and filters.
-    while (master.committedTotal() < cfg.warmupInsts &&
-           !master.allHalted()) {
-        master.tick();
-    }
-    if (master.allHalted())
-        fh_fatal("workload '%s' halted during warmup; "
-                 "increase its iteration count",
-                 prog->name.c_str());
+    // The session runs warmup; a workload that halts inside it is
+    // fatal before any journal is touched, exactly as before.
+    CampaignSession session(params, prog, cfg);
 
     // Durable progress: open (and replay) the trial journal before
     // the first injection point. The header pins the configuration,
     // so a resumed run either continues bit-identically or refuses.
+    CampaignResult result;
+    u64 start = 0;
     std::unique_ptr<TrialJournal> journal;
     if (!cfg.journalPath.empty()) {
         journal = std::make_unique<TrialJournal>(
@@ -612,14 +696,28 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
                       cfg.journalPath.c_str(),
                       static_cast<unsigned long long>(
                           journal->replayCount()));
+        // A journaled trial's outcome is already known; the session
+        // skip-advances the master over its gap (same schedule as the
+        // original run), so only the counters are added here.
+        for (u64 t = 0; t < journal->replayCount(); ++t) {
+            result += journal->replayed(t);
+            ++result.replayedTrials;
+            if (cfg.progress)
+                cfg.progress->tick();
+        }
+        start = journal->replayCount();
     }
 
-    const bool use_ledger =
-        !cfg.forceGoldenFork && GoldenLedger::supports(master, *prog);
-    return use_ledger
-               ? runCampaignLedger(params, cfg, master, journal.get())
-               : runCampaignGoldenFork(params, cfg, master,
-                                       journal.get());
+    RangeOutcome out = session.runRange(
+        start, cfg.injections,
+        [&](u64 trial, const CampaignResult &delta) {
+            result += delta;
+            if (journal)
+                journal->record(trial, delta);
+        });
+    result.partial = out.stopped;
+    result.phases += out.phases;
+    return result;
 }
 
 } // namespace fh::fault

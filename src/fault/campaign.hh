@@ -26,6 +26,8 @@
 #ifndef FH_FAULT_CAMPAIGN_HH
 #define FH_FAULT_CAMPAIGN_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "fault/injector.hh"
@@ -269,6 +271,74 @@ struct CampaignResult
 CampaignResult runCampaign(const pipeline::CoreParams &params,
                            const isa::Program *prog,
                            const CampaignConfig &cfg);
+
+/**
+ * Per-trial result consumer: called once per executed trial, in trial
+ * order, with the trial's counter deltas. This is the journal's record
+ * stream generalized — runCampaign's sink appends to the TrialJournal,
+ * a distributed worker's sink frames the same deltas onto a socket.
+ */
+using TrialSink =
+    std::function<void(u64 trial, const CampaignResult &delta)>;
+
+/** What a CampaignSession::runRange call actually covered. */
+struct RangeOutcome
+{
+    /** First trial not produced: range end, or where the run stopped. */
+    u64 nextTrial = 0;
+    /** The master halted; no trial >= nextTrial exists in this
+     *  campaign (deterministic: every process sees the same halt). */
+    bool halted = false;
+    /** A shutdown request drained the range early at nextTrial. */
+    bool stopped = false;
+    /** Producer-side wall time (master advance + snapshots) spent in
+     *  this call; worker-side phase time rides in the trial deltas. */
+    CampaignPhases phases;
+};
+
+/**
+ * An incrementally drivable campaign: the master machine plus all loop
+ * state of runCampaign, exposed as a sequence of runRange calls so a
+ * distributed worker can execute just its leased trial-index ranges.
+ *
+ * Determinism: the master's advance is a pure function of the gap
+ * schedule (seeded by cfg.seed), and each trial's outcome is a pure
+ * function of (config, trial index) — trials outside [begin, end) are
+ * skipped by advancing their gaps without snapshotting or forking, so
+ * the trials that *are* executed see exactly the machine state and
+ * draw exactly the plans of a full single-process run. Ranges must be
+ * visited in increasing trial order within one session; a worker
+ * leased an earlier range builds a fresh session.
+ */
+class CampaignSession
+{
+  public:
+    /** Builds the master and runs warmup (fatal if the workload halts
+     *  during it, as runCampaign always was). cfg.journalPath is
+     *  ignored here — journaling belongs to the caller's sink. */
+    CampaignSession(const pipeline::CoreParams &params,
+                    const isa::Program *prog, const CampaignConfig &cfg);
+    ~CampaignSession();
+
+    CampaignSession(const CampaignSession &) = delete;
+    CampaignSession &operator=(const CampaignSession &) = delete;
+
+    /**
+     * Produce and execute trials [max(begin, position()), min(end,
+     * cfg.injections)), calling sink in trial order; trials below
+     * begin are skip-advanced. In ledger mode a non-terminal range
+     * closes its last windows on a scratch copy of the master, so the
+     * schedule seen by later ranges is untouched.
+     */
+    RangeOutcome runRange(u64 begin, u64 end, const TrialSink &sink);
+
+    /** Next producible trial index (monotonic across runRange calls). */
+    u64 position() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 } // namespace fh::fault
 

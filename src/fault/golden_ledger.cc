@@ -6,7 +6,7 @@ namespace fh::fault
 {
 
 GoldenLedger::GoldenLedger(pipeline::Core &master)
-    : master_(master), watches_(master.numThreads())
+    : master_(&master), watches_(master.numThreads())
 {
 }
 
@@ -29,9 +29,9 @@ void
 GoldenLedger::finalizeThread(u32 slot, unsigned tid)
 {
     Entry &e = entries_[slot];
-    e.arch[tid] = master_.archState(tid);
-    e.digests[tid] = master_.memory().segmentDigest(tid);
-    if (master_.trapOf(tid) != isa::Trap::None)
+    e.arch[tid] = master_->archState(tid);
+    e.digests[tid] = master_->memory().segmentDigest(tid);
+    if (master_->trapOf(tid) != isa::Trap::None)
         e.trapped = true;
     fh_assert(e.remaining > 0, "ledger entry finalized twice");
     --e.remaining;
@@ -49,16 +49,16 @@ GoldenLedger::open(const std::vector<u64> &targets)
         entries_.emplace_back();
     }
 
-    const unsigned n = master_.numThreads();
+    const unsigned n = master_->numThreads();
     Entry &e = entries_[slot];
     e.targets = targets;
     e.arch.assign(n, {});
-    e.digests.assign(master_.memory().segmentCount(), 0);
+    e.digests.assign(master_->memory().segmentCount(), 0);
     e.trapped = false;
     e.remaining = n;
 
     for (unsigned tid = 0; tid < n; ++tid) {
-        if (master_.halted(tid) || master_.committed(tid) >= targets[tid]) {
+        if (master_->halted(tid) || master_->committed(tid) >= targets[tid]) {
             // A golden fork would freeze (or already be halted) here
             // without committing anything more on this thread.
             finalizeThread(slot, tid);
@@ -108,7 +108,7 @@ GoldenLedger::matches(const Entry &e, const pipeline::Core &fork)
 void
 GoldenLedger::onCommit(const pipeline::Core &core, unsigned tid)
 {
-    if (&core != &master_)
+    if (&core != master_)
         return; // a fork copied the observer pointer; ignore it
     auto &dq = watches_[tid];
     const u64 committed = core.committed(tid);
@@ -121,7 +121,7 @@ GoldenLedger::onCommit(const pipeline::Core &core, unsigned tid)
 void
 GoldenLedger::onThreadHalted(const pipeline::Core &core, unsigned tid)
 {
-    if (&core != &master_)
+    if (&core != master_)
         return;
     // The thread will never commit again; every pending watch on it
     // finalizes with the halted state — exactly what a golden fork

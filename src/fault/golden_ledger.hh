@@ -69,6 +69,18 @@ class GoldenLedger final : public pipeline::CommitObserver
     explicit GoldenLedger(pipeline::Core &master);
 
     /**
+     * Swap the observed master. Used by CampaignSession's mid-campaign
+     * drain: a non-final range closes its last windows by ticking a
+     * *copy* of the master (so the injection-point schedule of later
+     * ranges is untouched), and during those ticks the ledger must
+     * sample the copy. The copy is machine-identical to the master, so
+     * an entry finalized at commit count N on either holds the same
+     * state — the master-as-golden argument is unchanged. Retarget
+     * back to the real master before it ticks again.
+     */
+    void retarget(pipeline::Core &master) { master_ = &master; }
+
+    /**
      * The master-as-golden argument needs the thread <-> segment
      * bijection: one memory segment per SMT thread, in thread order,
      * based at the thread's r1 data base. Campaigns on programs that
@@ -131,7 +143,7 @@ class GoldenLedger final : public pipeline::CommitObserver
     /** Sample thread tid's state from the master into an entry. */
     void finalizeThread(u32 slot, unsigned tid);
 
-    pipeline::Core &master_;
+    pipeline::Core *master_;
     std::vector<Entry> entries_;
     std::vector<u32> freeSlots_;
     /** Per-thread pending watches, FIFO by target (targets are

@@ -10,19 +10,8 @@
 namespace fh::fault
 {
 
-namespace
-{
-
-/**
- * The counters serialized per trial, in record-array order. The
- * wall-time phases and the partial/replayed markers are deliberately
- * absent: phases were never deterministic, and the markers describe a
- * run, not a trial.
- */
-constexpr size_t kCounters = 17;
-
 void
-packCounters(const CampaignResult &r, u64 (&d)[kCounters])
+packTrialCounters(const CampaignResult &r, u64 (&d)[kTrialCounters])
 {
     d[0] = r.injected;
     d[1] = r.masked;
@@ -44,7 +33,7 @@ packCounters(const CampaignResult &r, u64 (&d)[kCounters])
 }
 
 CampaignResult
-unpackCounters(const u64 (&d)[kCounters])
+unpackTrialCounters(const u64 (&d)[kTrialCounters])
 {
     CampaignResult r;
     r.injected = d[0];
@@ -66,6 +55,9 @@ unpackCounters(const u64 (&d)[kCounters])
     r.bins.other = d[16];
     return r;
 }
+
+namespace
+{
 
 /**
  * The header pins everything the trial outcomes are a function of:
@@ -97,7 +89,7 @@ headerLine(const CampaignConfig &cfg, const std::string &scheme)
 /** Parse `{"t": N, "d": [c0, ..., c16]}`; false on any malformation
  *  (a crash-truncated tail line must not be trusted). */
 bool
-parseRecord(const std::string &line, u64 &trial, u64 (&d)[kCounters])
+parseRecord(const std::string &line, u64 &trial, u64 (&d)[kTrialCounters])
 {
     const char *p = line.c_str();
     auto expect = [&](const char *tok) {
@@ -123,10 +115,10 @@ parseRecord(const std::string &line, u64 &trial, u64 (&d)[kCounters])
         !expect(",") || !expect("\"d\":") || !expect("[")) {
         return false;
     }
-    for (size_t i = 0; i < kCounters; ++i) {
+    for (size_t i = 0; i < kTrialCounters; ++i) {
         if (!number(d[i]))
             return false;
-        if (i + 1 < kCounters && !expect(","))
+        if (i + 1 < kTrialCounters && !expect(","))
             return false;
     }
     return expect("]") && expect("}");
@@ -152,7 +144,7 @@ TrialJournal::TrialJournal(const std::string &path,
                          "want: %s",
                          path_.c_str(), line.c_str(), header.c_str());
             }
-            u64 d[kCounters];
+            u64 d[kTrialCounters];
             u64 trial = 0;
             while (std::getline(in, line)) {
                 if (!parseRecord(line, trial, d) ||
@@ -161,7 +153,7 @@ TrialJournal::TrialJournal(const std::string &path,
                     // clean prefix, drop the rest (it re-executes).
                     break;
                 }
-                replayed_.push_back(unpackCounters(d));
+                replayed_.push_back(unpackTrialCounters(d));
             }
         }
         in.close();
@@ -176,11 +168,11 @@ TrialJournal::TrialJournal(const std::string &path,
         fh_fatal("cannot open journal '%s' for writing", path_.c_str());
     std::fprintf(out_, "%s\n", header.c_str());
     for (u64 t = 0; t < replayed_.size(); ++t) {
-        u64 d[kCounters];
-        packCounters(replayed_[t], d);
+        u64 d[kTrialCounters];
+        packTrialCounters(replayed_[t], d);
         std::fprintf(out_, "{\"t\": %llu, \"d\": [",
                      static_cast<unsigned long long>(t));
-        for (size_t i = 0; i < kCounters; ++i)
+        for (size_t i = 0; i < kTrialCounters; ++i)
             std::fprintf(out_, "%s%llu", i ? ", " : "",
                          static_cast<unsigned long long>(d[i]));
         std::fprintf(out_, "]}\n");
@@ -203,11 +195,11 @@ TrialJournal::record(u64 trial, const CampaignResult &delta)
               static_cast<unsigned long long>(trial),
               static_cast<unsigned long long>(nextTrial_));
     ++nextTrial_;
-    u64 d[kCounters];
-    packCounters(delta, d);
+    u64 d[kTrialCounters];
+    packTrialCounters(delta, d);
     std::fprintf(out_, "{\"t\": %llu, \"d\": [",
                  static_cast<unsigned long long>(trial));
-    for (size_t i = 0; i < kCounters; ++i)
+    for (size_t i = 0; i < kTrialCounters; ++i)
         std::fprintf(out_, "%s%llu", i ? ", " : "",
                      static_cast<unsigned long long>(d[i]));
     std::fprintf(out_, "]}\n");

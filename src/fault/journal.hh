@@ -42,6 +42,23 @@
 namespace fh::fault
 {
 
+/**
+ * The counters serialized per completed trial, in record-array order:
+ * the journal's JSONL "d" array and the distributed fabric's TRIAL
+ * frames carry exactly this vector, so a coordinator can journal a
+ * worker's records verbatim. The wall-time phases and the
+ * partial/replayed markers are deliberately absent: phases were never
+ * deterministic, and the markers describe a run, not a trial.
+ */
+constexpr size_t kTrialCounters = 17;
+
+/** Flatten one trial's counter deltas into record-array order. */
+void packTrialCounters(const CampaignResult &r,
+                       u64 (&d)[kTrialCounters]);
+
+/** Inverse of packTrialCounters (phases/markers zero). */
+CampaignResult unpackTrialCounters(const u64 (&d)[kTrialCounters]);
+
 class TrialJournal
 {
   public:

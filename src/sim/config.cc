@@ -133,7 +133,20 @@ Config::getBool(const std::string &key, bool def) const
 void
 Config::declareKey(const std::string &key) const
 {
-    declared_.insert(key);
+    declared_.emplace(key, std::string());
+}
+
+void
+Config::declareKey(const std::string &key,
+                   const std::string &desc) const
+{
+    declared_[key] = desc;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Config::keyDocs() const
+{
+    return {declared_.begin(), declared_.end()};
 }
 
 std::vector<std::string>

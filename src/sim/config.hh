@@ -57,6 +57,22 @@ class Config
     void declareKey(const std::string &key) const;
 
     /**
+     * Register a key together with a one-line description. The
+     * description feeds keyDocs(), from which a driver generates its
+     * help text — the registry that powers the typo check doubles as
+     * the single source of truth for what the driver understands, so
+     * help can never drift from the accepted option set.
+     */
+    void declareKey(const std::string &key,
+                    const std::string &desc) const;
+
+    /**
+     * Every declared key with its description (empty for keys
+     * registered without one), sorted by key.
+     */
+    std::vector<std::pair<std::string, std::string>> keyDocs() const;
+
+    /**
      * Keys that were set but never declared or read — in a CLI
      * driver, almost certainly typos (`injectons=5000` silently
      * running the default campaign is the motivating bug). Call after
@@ -66,10 +82,10 @@ class Config
 
   private:
     std::map<std::string, std::string> values_;
-    /** Keys consumed by accessors or declareKey (recognition set for
-     *  unknownKeys); mutable because reading a value is logically
-     *  const. */
-    mutable std::set<std::string> declared_;
+    /** Keys consumed by accessors or declareKey, with their help
+     *  descriptions (the recognition set for unknownKeys); mutable
+     *  because reading a value is logically const. */
+    mutable std::map<std::string, std::string> declared_;
 };
 
 } // namespace fh

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * The distributed campaign fabric end to end, against real worker
+ * processes (fork) on loopback sockets: bit-identical merge at 1/2/4
+ * workers (counters AND journal bytes vs a single-process run),
+ * elastic re-issue after a worker is SIGKILLed mid-lease (with a torn
+ * trial frame on the wire), lease-timeout revocation of a hung
+ * worker, deterministic early-halt agreement, and the shutdown-drain
+ * -> journal-resume contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/coordinator.hh"
+#include "dist/messages.hh"
+#include "dist/spawner.hh"
+#include "dist/spec.hh"
+#include "dist/worker.hh"
+#include "fault/campaign.hh"
+#include "fault/journal.hh"
+#include "workload/workload.hh"
+
+using namespace fh;
+
+namespace
+{
+
+/** The test campaign: small but classification-diverse (the same
+ *  shrunken-footprint ocean the resilience suite uses). */
+dist::CampaignSpec
+testSpec()
+{
+    dist::CampaignSpec spec;
+    spec.bench = "ocean";
+    spec.scheme = "faulthound";
+    spec.coreThreads = 2;
+    spec.workload.maxThreads = 2;
+    spec.workload.footprintDivider = 64;
+    spec.campaign.injections = 24;
+    spec.campaign.window = 300;
+    spec.campaign.seed = 77;
+    spec.campaign.threads = 1;
+    return spec;
+}
+
+fault::CampaignResult
+singleProcess(const dist::CampaignSpec &spec,
+              const std::string &journal = "")
+{
+    isa::Program prog = spec.buildProgram();
+    fault::CampaignConfig cfg = spec.campaign;
+    cfg.threads = 1;
+    cfg.journalPath = journal;
+    return fault::runCampaign(spec.buildParams(), &prog, cfg);
+}
+
+void
+expectIdentical(const fault::CampaignResult &a,
+                const fault::CampaignResult &b)
+{
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.noisy, b.noisy);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.uncovered, b.uncovered);
+    EXPECT_EQ(a.trialErrors, b.trialErrors);
+    EXPECT_EQ(a.hungBare, b.hungBare);
+    EXPECT_EQ(a.hungProtected, b.hungProtected);
+    EXPECT_EQ(a.bins.covered, b.bins.covered);
+    EXPECT_EQ(a.bins.secondLevelMasked, b.bins.secondLevelMasked);
+    EXPECT_EQ(a.bins.completedReg, b.bins.completedReg);
+    EXPECT_EQ(a.bins.archReg, b.bins.archReg);
+    EXPECT_EQ(a.bins.renameUncovered, b.bins.renameUncovered);
+    EXPECT_EQ(a.bins.noTrigger, b.bins.noTrigger);
+    EXPECT_EQ(a.bins.other, b.bins.other);
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string path = testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+pid_t
+spawnRealWorker(const dist::Endpoint &ep, unsigned delayMs = 0)
+{
+    return dist::spawnFn([ep, delayMs] {
+        if (delayMs)
+            ::usleep(delayMs * 1000);
+        dist::WorkerOptions opts;
+        opts.endpoint = ep;
+        opts.jobs = 1;
+        opts.heartbeatMs = 50;
+        return dist::runWorker(opts);
+    });
+}
+
+/** Blocking read of the next frame (child-side helper). */
+bool
+recvFrame(int fd, dist::FrameReader &reader, dist::Frame &out)
+{
+    while (!reader.next(out)) {
+        if (reader.corrupt())
+            return false;
+        u8 buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return false;
+        reader.feed(buf, static_cast<size_t>(n));
+    }
+    return true;
+}
+
+/**
+ * A worker that executes its first lease correctly for `goodTrials`
+ * trials, then writes HALF of the next trial's frame and SIGKILLs
+ * itself — the re-issue path plus the torn-write path in one: the
+ * coordinator must merge the acknowledged prefix, discard the torn
+ * tail, and re-run the rest elsewhere.
+ */
+pid_t
+spawnSabotagedWorker(const dist::Endpoint &ep, u64 goodTrials)
+{
+    return dist::spawnFn([ep, goodTrials]() -> int {
+        std::string error;
+        const int fd = dist::connectTo(ep, error);
+        if (fd < 0)
+            return 1;
+        dist::HelloMsg hello;
+        hello.pid = static_cast<u64>(::getpid());
+        dist::sendFrame(fd, dist::MsgType::Hello, hello.encode());
+
+        dist::FrameReader reader;
+        dist::Frame f;
+        dist::CampaignSpec spec;
+        if (!recvFrame(fd, reader, f) ||
+            static_cast<dist::MsgType>(f.type) != dist::MsgType::Spec)
+            return 1;
+        dist::SpecMsg sm;
+        if (!dist::SpecMsg::decode(f.payload, sm) ||
+            !dist::CampaignSpec::decode(sm.text, spec, error))
+            return 1;
+        if (!recvFrame(fd, reader, f) ||
+            static_cast<dist::MsgType>(f.type) !=
+                dist::MsgType::Assign)
+            return 0; // campaign ended without us; nothing to wreck
+        dist::AssignMsg a;
+        if (!dist::AssignMsg::decode(f.payload, a))
+            return 1;
+
+        isa::Program prog = spec.buildProgram();
+        fault::CampaignConfig cfg = spec.campaign;
+        cfg.threads = 1;
+        fault::CampaignSession session(spec.buildParams(), &prog,
+                                       cfg);
+        u64 sent = 0;
+        session.runRange(
+            a.begin, a.end,
+            [&](u64 trial, const fault::CampaignResult &delta) {
+                dist::TrialMsg t;
+                t.trial = trial;
+                fault::packTrialCounters(delta, t.d);
+                const auto frame = dist::encodeFrame(
+                    dist::MsgType::Trial, t.encode());
+                if (sent < goodTrials) {
+                    dist::sendAll(fd, frame.data(), frame.size());
+                    ++sent;
+                } else {
+                    // Torn write: half a frame, then die on the spot.
+                    dist::sendAll(fd, frame.data(),
+                                  frame.size() / 2);
+                    ::raise(SIGKILL);
+                }
+            });
+        return 0;
+    });
+}
+
+/** A worker that takes a lease and then hangs without heartbeats —
+ *  only the lease timeout can unstick the campaign. */
+pid_t
+spawnHungWorker(const dist::Endpoint &ep)
+{
+    return dist::spawnFn([ep]() -> int {
+        std::string error;
+        const int fd = dist::connectTo(ep, error);
+        if (fd < 0)
+            return 1;
+        dist::HelloMsg hello;
+        hello.pid = static_cast<u64>(::getpid());
+        dist::sendFrame(fd, dist::MsgType::Hello, hello.encode());
+        dist::FrameReader reader;
+        dist::Frame f;
+        while (recvFrame(fd, reader, f)) {
+            if (static_cast<dist::MsgType>(f.type) ==
+                dist::MsgType::Assign) {
+                ::sleep(600); // hold the lease, say nothing
+            }
+        }
+        return 0;
+    });
+}
+
+struct DistRun
+{
+    fault::CampaignResult result;
+    dist::DistStats stats;
+};
+
+DistRun
+runDistributed(const dist::CampaignSpec &spec, unsigned workers,
+               dist::CoordinatorOptions opts = {},
+               const std::string &journal = "")
+{
+    dist::Coordinator coord(spec, opts);
+    std::vector<pid_t> pids;
+    for (unsigned i = 0; i < workers; ++i)
+        pids.push_back(spawnRealWorker(coord.endpoint()));
+
+    std::unique_ptr<fault::TrialJournal> j;
+    if (!journal.empty())
+        j = std::make_unique<fault::TrialJournal>(
+            journal, spec.campaign,
+            filters::to_string(spec.buildParams().detector.scheme));
+    DistRun run;
+    run.result = coord.run(j.get());
+    run.stats = coord.stats();
+    for (pid_t pid : pids)
+        dist::reap(pid);
+    return run;
+}
+
+TEST(Dist, BitIdenticalAtAnyWorkerCount)
+{
+    const dist::CampaignSpec spec = testSpec();
+    const std::string refJournal = tempPath("dist_ref.fhj");
+    const fault::CampaignResult ref = singleProcess(spec, refJournal);
+    ASSERT_GT(ref.injected, 0u);
+
+    for (unsigned workers : {1u, 2u, 4u}) {
+        dist::CoordinatorOptions opts;
+        opts.workers = workers;
+        const std::string journal = tempPath("dist_w.fhj");
+        const DistRun run =
+            runDistributed(spec, workers, opts, journal);
+        expectIdentical(ref, run.result);
+        EXPECT_FALSE(run.result.partial);
+        EXPECT_EQ(run.stats.workersJoined, workers);
+        EXPECT_EQ(run.stats.workersDied, 0u);
+        EXPECT_EQ(run.stats.trialsMerged, spec.campaign.injections);
+        // The merged journal is byte-identical to the single-process
+        // journal: same header, same records, same order.
+        EXPECT_EQ(fileBytes(refJournal), fileBytes(journal))
+            << "journal diverged at " << workers << " worker(s)";
+        std::remove(journal.c_str());
+    }
+    std::remove(refJournal.c_str());
+}
+
+TEST(Dist, UnixDomainSocketWorks)
+{
+    const dist::CampaignSpec spec = testSpec();
+    const fault::CampaignResult ref = singleProcess(spec);
+
+    dist::CoordinatorOptions opts;
+    opts.workers = 2;
+    opts.listen.unixDomain = true;
+    opts.listen.host = tempPath("dist_fabric.sock");
+    const DistRun run = runDistributed(spec, 2, opts);
+    expectIdentical(ref, run.result);
+}
+
+TEST(Dist, SigkilledWorkerMidLeaseIsReissuedIdentically)
+{
+    const dist::CampaignSpec spec = testSpec();
+    const fault::CampaignResult ref = singleProcess(spec);
+
+    dist::CoordinatorOptions opts;
+    opts.workers = 2;
+    opts.chunk = 12; // two leases over 24 trials
+    dist::Coordinator coord(spec, opts);
+
+    // The saboteur connects first (it leases the first chunk), runs
+    // two trials honestly, tears the third's frame and SIGKILLs
+    // itself; the real worker joins shortly after and must absorb
+    // both its own lease and the re-issued remainder.
+    const pid_t bad = spawnSabotagedWorker(coord.endpoint(), 2);
+    const pid_t good = spawnRealWorker(coord.endpoint(), 100);
+
+    const fault::CampaignResult r = coord.run(nullptr);
+    dist::reap(bad);
+    dist::reap(good);
+
+    expectIdentical(ref, r);
+    EXPECT_FALSE(r.partial);
+    EXPECT_EQ(coord.stats().workersDied, 1u);
+    EXPECT_GE(coord.stats().rangesReissued, 1u);
+    EXPECT_EQ(coord.stats().trialsMerged, spec.campaign.injections);
+}
+
+TEST(Dist, HungWorkerLeaseTimesOutAndReissues)
+{
+    const dist::CampaignSpec spec = testSpec();
+    const fault::CampaignResult ref = singleProcess(spec);
+
+    dist::CoordinatorOptions opts;
+    opts.workers = 2;
+    opts.chunk = 12;
+    opts.leaseTimeoutMs = 400; // heartbeats are silent: revoke fast
+    dist::Coordinator coord(spec, opts);
+
+    const pid_t hung = spawnHungWorker(coord.endpoint());
+    const pid_t good = spawnRealWorker(coord.endpoint(), 100);
+
+    const fault::CampaignResult r = coord.run(nullptr);
+    ::kill(hung, SIGKILL);
+    dist::reap(hung);
+    dist::reap(good);
+
+    expectIdentical(ref, r);
+    EXPECT_EQ(coord.stats().workersDied, 1u);
+    EXPECT_GE(coord.stats().rangesReissued, 1u);
+}
+
+TEST(Dist, EarlyHaltAgreesWithSingleProcess)
+{
+    // A workload that runs out mid-campaign: the halt point is a pure
+    // function of the schedule, so the distributed run must shrink to
+    // exactly the single-process trial count.
+    dist::CampaignSpec spec = testSpec();
+    spec.workload.iterations = 800;
+    spec.campaign.injections = 40;
+    const fault::CampaignResult ref = singleProcess(spec);
+    ASSERT_LT(ref.injected, 40u) << "halt never happened; the test "
+                                    "needs a smaller workload";
+
+    dist::CoordinatorOptions opts;
+    opts.workers = 2;
+    const DistRun run = runDistributed(spec, 2, opts);
+    expectIdentical(ref, run.result);
+    EXPECT_FALSE(run.result.partial);
+}
+
+TEST(Dist, ShutdownDrainsPartialAndJournalResumes)
+{
+    const dist::CampaignSpec spec = testSpec();
+    const fault::CampaignResult ref = singleProcess(spec);
+    const std::string journal = tempPath("dist_resume.fhj");
+
+    // Stop after ~a third of the campaign: the coordinator drains the
+    // live leases, the journal keeps the merged clean prefix. One
+    // worker keeps the drain point deterministic — leases are granted
+    // one at a time and the stop lands between two of them.
+    dist::CoordinatorOptions opts;
+    opts.workers = 1;
+    opts.chunk = 4;
+    opts.stopAfterMerged = 8;
+    const DistRun first = runDistributed(spec, 1, opts, journal);
+    EXPECT_TRUE(first.result.partial);
+    EXPECT_GE(first.result.injected, 8u);
+    EXPECT_LT(first.result.injected, spec.campaign.injections);
+
+    // Resume: replay the journaled prefix, execute the rest, land on
+    // the uninterrupted campaign's exact counters.
+    dist::CoordinatorOptions opts2;
+    opts2.workers = 2;
+    const DistRun second = runDistributed(spec, 2, opts2, journal);
+    EXPECT_FALSE(second.result.partial);
+    EXPECT_EQ(second.result.replayedTrials, first.result.injected);
+    expectIdentical(ref, second.result);
+    std::remove(journal.c_str());
+}
+
+} // namespace
+
