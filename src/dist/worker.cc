@@ -128,11 +128,11 @@ runWorker(const WorkerOptions &opts)
     std::thread heartbeat(
         [&st, &opts] { heartbeatLoop(st, opts.heartbeatMs); });
 
-    // The session is built from the Spec frame and rebuilt from
-    // scratch only when a stolen (re-issued) lease lies behind the
-    // current position — ranges must be visited forward within one
-    // session. cfg.threads is host-local; everything deterministic
-    // comes from the spec.
+    // The session is built from the Spec frame once; a stolen
+    // (re-issued) lease behind the current position rewinds it to the
+    // post-warmup snapshot instead of re-running warmup — ranges must
+    // be visited forward within one pass. cfg.threads is host-local;
+    // everything deterministic comes from the spec.
     CampaignSpec spec;
     bool haveSpec = false;
     std::unique_ptr<isa::Program> prog;
@@ -188,9 +188,12 @@ runWorker(const WorkerOptions &opts)
                 exec::requestShutdown();
                 break;
             }
-            if (!session || a.begin < session->position()) {
+            if (!session) {
                 session = std::make_unique<fault::CampaignSession>(
                     params, prog.get(), ccfg);
+                st.position.store(0, std::memory_order_relaxed);
+            } else if (a.begin < session->position()) {
+                session->rewind();
                 st.position.store(0, std::memory_order_relaxed);
             }
             fault::RangeOutcome out = session->runRange(

@@ -20,12 +20,26 @@ resolveThreads(unsigned requested)
     return requested ? requested : hardwareThreads();
 }
 
+namespace
+{
+thread_local unsigned tlsWorkerIndex = 0;
+} // namespace
+
+unsigned
+ThreadPool::currentWorker()
+{
+    return tlsWorkerIndex;
+}
+
 ThreadPool::ThreadPool(unsigned threads)
     : nthreads_(std::max(1u, resolveThreads(threads)))
 {
     workers_.reserve(nthreads_ - 1);
     for (unsigned i = 1; i < nthreads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            tlsWorkerIndex = i;
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()

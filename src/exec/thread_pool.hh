@@ -52,6 +52,16 @@ class ThreadPool
     unsigned size() const { return nthreads_; }
 
     /**
+     * Stable identity of the executing thread within its pool, for
+     * per-worker scratch indexing: the pool's caller thread is 0 and
+     * spawned workers are 1..size()-1, so any thread inside a
+     * parallelFor body may index a caller-owned array of size()
+     * entries without synchronization. Threads that never entered a
+     * pool report 0 (they are somebody's caller).
+     */
+    static unsigned currentWorker();
+
+    /**
      * Run body(i) for every i in [0, n), handing out chunks of grain
      * consecutive indices; blocks until the loop is fully drained.
      * The first exception thrown by any body is rethrown here. Once a

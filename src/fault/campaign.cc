@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -66,7 +67,95 @@ struct Trial
     pipeline::PregPhase phase;
     filters::DetectorStats masterStats;
     u64 index = 0; ///< campaign trial number (journal key, repro id)
+    /**
+     * The injection provably cannot change any observable outcome, so
+     * the faulty forks need not run at all. True for three plans:
+     *
+     *  - Target::None — apply() is a no-op, the "fault" strikes idle
+     *    logic; the bare fork is literally a no-fault fork.
+     *  - Target::Lsq with an empty LSQ at the snapshot — apply()
+     *    refuses (returns false), same no-op.
+     *  - Target::RegFile into a free-listed preg. The flip touches
+     *    only the value word: ready/free bits and both rename maps are
+     *    untouched. While free, the preg is unreadable — preg
+     *    reclamation frees a preg only when the next writer of its
+     *    arch register commits, and in-order commit means every
+     *    reader (including deferred store-data capture) has issued
+     *    and read by then; archState and the detectors read only
+     *    mapped/owned pregs. Leaving the free state goes through
+     *    allocate(), which clears the ready bit, so the producer's
+     *    full-word write lands before any consumer read. The corrupt
+     *    bits are therefore dead on arrival.
+     *
+     * In each case the bare fork is bit-equivalent to a no-fault fork,
+     * which reproduces the master's own window — the same
+     * master-as-golden invariant the ledger already rests on.
+     */
+    bool provablyMasked = false;
 };
+
+/** Evaluate Trial::provablyMasked against the snapshot-time master
+ *  (the fork sees exactly this state, so the checks transfer). */
+bool
+provablyMasked(const pipeline::Core &master, const InjectionPlan &plan,
+               pipeline::PregPhase phase)
+{
+    switch (plan.target) {
+      case Target::None:
+        return true;
+      case Target::Lsq:
+        return master.lsqOccupied() == 0;
+      case Target::RegFile:
+        return phase == pipeline::PregPhase::Free;
+      case Target::Rename:
+        return false;
+    }
+    return false;
+}
+
+/**
+ * Per-worker reusable fork machines. The first trial a worker executes
+ * allocates them (one machine per fork kind); every later fork
+ * restores into the same flat buffers via runForkInto, so the
+ * campaign's steady state performs zero fork-path allocations — a
+ * bare fork is one arena memcpy plus the COW memory/filter copies.
+ */
+struct ForkScratch
+{
+    std::optional<ForkOutcome> golden;
+    std::optional<ForkOutcome> bare;
+    std::optional<ForkOutcome> prot;
+};
+
+ForkOutcome &
+forkInto(std::optional<ForkOutcome> &slot, const pipeline::Core &base,
+         const InjectionPlan *plan, bool detector_enabled,
+         const std::vector<u64> &targets, Cycle max_cycles,
+         const ForkDeadline *deadline)
+{
+    if (!slot)
+        slot.emplace(runFork(base, plan, detector_enabled, targets,
+                             max_cycles, deadline));
+    else
+        runForkInto(*slot, base, plan, detector_enabled, targets,
+                    max_cycles, deadline);
+    return *slot;
+}
+
+ForkOutcome &
+forkInto(std::optional<ForkOutcome> &slot, pipeline::Core &&base,
+         const InjectionPlan *plan, bool detector_enabled,
+         const std::vector<u64> &targets, Cycle max_cycles,
+         const ForkDeadline *deadline)
+{
+    if (!slot)
+        slot.emplace(runFork(std::move(base), plan, detector_enabled,
+                             targets, max_cycles, deadline));
+    else
+        runForkInto(*slot, std::move(base), plan, detector_enabled,
+                    targets, max_cycles, deadline);
+    return *slot;
+}
 
 /**
  * Shared tail of both classifiers: the SDC fault ran through a
@@ -129,7 +218,7 @@ classifyProtected(CampaignResult &r, const Trial &t,
  */
 CampaignResult
 runTrialGoldenFork(const pipeline::CoreParams &params,
-                   const CampaignConfig &cfg, Trial &t,
+                   const CampaignConfig &cfg, Trial &t, ForkScratch &fs,
                    const ForkDeadline *deadline)
 {
     CampaignResult r;
@@ -138,14 +227,29 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
     // Golden fork: no fault, detector checks off (architecturally
     // identical to a protected run; faster).
     auto t0 = PhaseClock::now();
-    ForkOutcome golden = runFork(t.master, nullptr, false, t.targets,
-                                 cfg.forkMaxCycles, deadline);
+    ForkOutcome &golden = forkInto(fs.golden, t.master, nullptr, false,
+                                   t.targets, cfg.forkMaxCycles,
+                                   deadline);
     r.phases.goldenNs += nsSince(t0);
+
+    // A provably dead injection: the bare fork would replay the golden
+    // fork bit for bit (see Trial::provablyMasked), so classify from
+    // the golden outcome alone. Trap status matches by construction,
+    // leaving only the reached-targets leg of the noisy test.
+    if (t.provablyMasked) {
+        if (!golden.reachedTargets) {
+            ++r.hungBare;
+            ++r.noisy;
+        } else {
+            ++r.masked;
+        }
+        return r;
+    }
 
     // Unprotected faulty fork: classifies the fault itself.
     t0 = PhaseClock::now();
-    ForkOutcome bare = runFork(t.master, &t.plan, false, t.targets,
-                               cfg.forkMaxCycles, deadline);
+    ForkOutcome &bare = forkInto(fs.bare, t.master, &t.plan, false,
+                                 t.targets, cfg.forkMaxCycles, deadline);
     r.phases.bareNs += nsSince(t0);
 
     if (!bare.reachedTargets)
@@ -172,10 +276,13 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
     }
 
     // Protected faulty fork: does the scheme cover the fault? This is
-    // the trial's last fork, so it takes the snapshot by move.
+    // the trial's last fork, so it takes the snapshot by swap (the
+    // trial slot inherits the scratch's old buffers and is overwritten
+    // in place at the next refill).
     t0 = PhaseClock::now();
-    ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
-                               t.targets, cfg.forkMaxCycles, deadline);
+    ForkOutcome &prot =
+        forkInto(fs.prot, std::move(t.master), &t.plan, true, t.targets,
+                 cfg.forkMaxCycles, deadline);
     r.phases.protectedNs += nsSince(t0);
 
     if (!prot.reachedTargets)
@@ -196,23 +303,37 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
 CampaignResult
 runTrialLedger(const pipeline::CoreParams &params,
                const CampaignConfig &cfg, Trial &t,
-               const GoldenLedger::Entry &g, const ForkDeadline *deadline)
+               const GoldenLedger::Entry &g, ForkScratch &fs,
+               const ForkDeadline *deadline)
 {
     CampaignResult r;
     ++r.injected;
 
+    // A provably dead injection against a genuinely-crossed, untrapped
+    // golden entry: a no-fault fork reaches its targets and samples
+    // exactly this entry (the ledger's master-as-golden invariant),
+    // and the bare fork is bit-equivalent to a no-fault fork (see
+    // Trial::provablyMasked) — masked, no fork needed. A non-crossed
+    // or trapped entry falls through to the real forks: there the
+    // no-fault replay freezes short of its targets and must take the
+    // noisy path with its hung-bare diagnostic.
+    if (t.provablyMasked && g.crossed && !g.trapped) {
+        ++r.masked;
+        return r;
+    }
+
     // With no protected scheme there is no third fork, so the bare
-    // fork is the trial's last and takes the snapshot by move.
+    // fork is the trial's last and takes the snapshot by swap.
     const bool bare_is_last =
         params.detector.scheme == filters::Scheme::None;
 
     auto t0 = PhaseClock::now();
-    ForkOutcome bare =
+    ForkOutcome &bare =
         bare_is_last
-            ? runFork(std::move(t.master), &t.plan, false, t.targets,
-                      cfg.forkMaxCycles, deadline)
-            : runFork(t.master, &t.plan, false, t.targets,
-                      cfg.forkMaxCycles, deadline);
+            ? forkInto(fs.bare, std::move(t.master), &t.plan, false,
+                       t.targets, cfg.forkMaxCycles, deadline)
+            : forkInto(fs.bare, t.master, &t.plan, false, t.targets,
+                       cfg.forkMaxCycles, deadline);
     r.phases.bareNs += nsSince(t0);
 
     if (!bare.reachedTargets)
@@ -238,8 +359,9 @@ runTrialLedger(const pipeline::CoreParams &params,
     }
 
     t0 = PhaseClock::now();
-    ForkOutcome prot = runFork(std::move(t.master), &t.plan, true,
-                               t.targets, cfg.forkMaxCycles, deadline);
+    ForkOutcome &prot =
+        forkInto(fs.prot, std::move(t.master), &t.plan, true, t.targets,
+                 cfg.forkMaxCycles, deadline);
     r.phases.protectedNs += nsSince(t0);
 
     if (!prot.reachedTargets)
@@ -312,8 +434,8 @@ struct CampaignSession::Impl
 {
     struct Pending
     {
-        Trial t;
-        u32 slot;
+        u32 trialIdx; ///< index into trialPool
+        u32 slot;     ///< ledger checkpoint slot
     };
 
     Impl(const pipeline::CoreParams &params_in, const isa::Program *prog,
@@ -336,6 +458,11 @@ struct CampaignSession::Impl
                      "increase its iteration count",
                      prog->name.c_str());
 
+        // Retained post-warmup snapshot: rewind() restores the master
+        // from it by buffer-reusing assignment instead of re-running
+        // warmup (see CampaignSession::rewind).
+        warmSnapshot = std::make_unique<pipeline::Core>(master);
+
         useLedger =
             !cfg.forceGoldenFork && GoldenLedger::supports(master, *prog);
         if (useLedger) {
@@ -345,6 +472,7 @@ struct CampaignSession::Impl
         batch.reserve(batchCap);
         partial.resize(batchCap);
         wave.reserve(batchCap + 8);
+        scratch.resize(threads);
     }
 
     ~Impl()
@@ -377,6 +505,7 @@ struct CampaignSession::Impl
                                     const TrialSink &sink);
     RangeOutcome runRangeLedger(u64 begin, u64 end,
                                 const TrialSink &sink);
+    void rewind();
 
     pipeline::CoreParams params;
     CampaignConfig cfg;
@@ -393,17 +522,55 @@ struct CampaignSession::Impl
     bool halted = false;
 
     // One fixed-size batch of trial slots, allocated once and reused
-    // across batches: a slot's snapshot is overwritten in place (COW
-    // memory makes both the snapshot and the overwrite cheap), so the
+    // across batches: a slot's snapshot is overwritten in place (a
+    // flat arena memcpy plus COW memory/filter copies), so the
     // campaign keeps at most batchCap machine copies live with no
     // per-batch reallocation churn.
     std::vector<Trial> batch;
     std::vector<CampaignResult> partial;
+    // Per-worker reusable fork machines, indexed by
+    // ThreadPool::currentWorker() (caller = 0, workers 1..threads-1).
+    std::vector<ForkScratch> scratch;
+    // Ledger mode: reusable trial slots. A deque so the references
+    // workers hold across a parallelFor stay stable while the
+    // producer appends new slots.
+    std::deque<Trial> trialPool;
+    std::vector<u32> freeTrials;
     // Ledger mode: produced trials whose windows the master has not
     // fully crossed yet; bounded by window/minGap in practice.
     std::deque<Pending> inflight;
     std::vector<Pending> wave;
+    std::unique_ptr<pipeline::Core> warmSnapshot;
 };
+
+/**
+ * Reset the session to its post-warmup state: position() back to 0,
+ * master restored from the retained warm snapshot by buffer-reusing
+ * assignment, the gap schedule restarted from cfg.seed, and the
+ * ledger rebuilt empty. Every downstream quantity is a pure function
+ * of (config, trial index), so re-executed trials are bit-identical
+ * to the first pass.
+ */
+void
+CampaignSession::Impl::rewind()
+{
+    if (useLedger)
+        master.setCommitObserver(nullptr);
+    master = *warmSnapshot;
+    gapRng = Rng(cfg.seed);
+    trial = 0;
+    executed = 0;
+    halted = false;
+    inflight.clear();
+    wave.clear();
+    freeTrials.clear();
+    for (u32 i = 0; i < trialPool.size(); ++i)
+        freeTrials.push_back(i);
+    if (useLedger) {
+        ledger = std::make_unique<GoldenLedger>(master);
+        master.setCommitObserver(ledger.get());
+    }
+}
 
 /**
  * Legacy-mode range: produce a batch of snapshots, run each trial's
@@ -453,13 +620,26 @@ CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
             pipeline::PregPhase phase = pipeline::PregPhase::Free;
             if (plan.target == Target::RegFile)
                 phase = master.pregPhase(plan.preg);
+            const bool provable = provablyMasked(master, plan, phase);
 
-            Trial t{master, plan, windowTargets(master, cfg.window),
-                    phase, master.detector().stats(), trial};
-            if (filled < batch.size())
-                batch[filled] = std::move(t);
-            else
-                batch.push_back(std::move(t));
+            if (filled < batch.size()) {
+                // Refill the slot in place: the snapshot lands in the
+                // slot's existing arena (a flat memcpy), targets reuse
+                // their capacity.
+                Trial &slot = batch[filled];
+                slot.master = master;
+                slot.plan = plan;
+                windowTargetsInto(slot.targets, master, cfg.window);
+                slot.phase = phase;
+                slot.masterStats = master.detector().stats();
+                slot.index = trial;
+                slot.provablyMasked = provable;
+            } else {
+                batch.push_back(Trial{master, plan,
+                                      windowTargets(master, cfg.window),
+                                      phase, master.detector().stats(),
+                                      trial, provable});
+            }
             produced.snapshotNs += nsSince(t0);
             ++filled;
             ++trial;
@@ -467,9 +647,12 @@ CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
         }
 
         pool.parallelFor(filled, [&](u64 k) {
+            ForkScratch &fs =
+                scratch[exec::ThreadPool::currentWorker()];
             partial[k] = runTrialGuarded(
                 cfg, batch[k], [&](const ForkDeadline *dl) {
-                    return runTrialGoldenFork(params, cfg, batch[k], dl);
+                    return runTrialGoldenFork(params, cfg, batch[k], fs,
+                                              dl);
                 });
             if (cfg.progress)
                 cfg.progress->tick();
@@ -524,21 +707,25 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
             return;
         partial.resize(std::max(partial.size(), wave.size()));
         pool.parallelFor(wave.size(), [&](u64 k) {
+            ForkScratch &fs =
+                scratch[exec::ThreadPool::currentWorker()];
+            Trial &t = trialPool[wave[k].trialIdx];
             partial[k] = runTrialGuarded(
-                cfg, wave[k].t, [&](const ForkDeadline *dl) {
-                    return runTrialLedger(params, cfg, wave[k].t,
+                cfg, t, [&](const ForkDeadline *dl) {
+                    return runTrialLedger(params, cfg, t,
                                           ledger->entry(wave[k].slot),
-                                          dl);
+                                          fs, dl);
                 });
             if (cfg.progress)
                 cfg.progress->tick();
         });
         // Merge — and sink — in trial (production) order:
-        // bit-identical for any worker count. Slots free up for the
-        // next opens.
+        // bit-identical for any worker count. Ledger slots and trial
+        // slots both free up for the next opens.
         for (size_t k = 0; k < wave.size(); ++k) {
-            sink(wave[k].t.index, partial[k]);
+            sink(trialPool[wave[k].trialIdx].index, partial[k]);
             ledger->release(wave[k].slot);
+            freeTrials.push_back(wave[k].trialIdx);
         }
         wave.clear();
     };
@@ -574,13 +761,31 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
         pipeline::PregPhase phase = pipeline::PregPhase::Free;
         if (plan.target == Target::RegFile)
             phase = master.pregPhase(plan.preg);
+        const bool provable = provablyMasked(master, plan, phase);
 
-        std::vector<u64> targets = windowTargets(master, cfg.window);
-        const u32 slot = ledger->open(targets);
-        inflight.push_back({Trial{master, plan, std::move(targets),
-                                  phase, master.detector().stats(),
-                                  trial},
-                            slot});
+        u32 tidx;
+        if (!freeTrials.empty()) {
+            // Reuse a retired trial slot: the snapshot lands in its
+            // existing arena (a flat memcpy), targets reuse capacity.
+            tidx = freeTrials.back();
+            freeTrials.pop_back();
+            Trial &tslot = trialPool[tidx];
+            tslot.master = master;
+            tslot.plan = plan;
+            windowTargetsInto(tslot.targets, master, cfg.window);
+            tslot.phase = phase;
+            tslot.masterStats = master.detector().stats();
+            tslot.index = trial;
+            tslot.provablyMasked = provable;
+        } else {
+            tidx = static_cast<u32>(trialPool.size());
+            trialPool.push_back(Trial{master, plan,
+                                      windowTargets(master, cfg.window),
+                                      phase, master.detector().stats(),
+                                      trial, provable});
+        }
+        const u32 slot = ledger->open(trialPool[tidx].targets);
+        inflight.push_back({tidx, slot});
         produced.snapshotNs += nsSince(t0);
         ++trial;
         ++executed;
@@ -603,13 +808,13 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
         const bool terminal =
             end >= cfg.injections || halted || stopped;
         pipeline::Core *drainee = &master;
-        std::unique_ptr<pipeline::Core> scratch;
+        std::unique_ptr<pipeline::Core> drainCopy;
         if (!terminal) {
-            scratch = std::make_unique<pipeline::Core>(master);
+            drainCopy = std::make_unique<pipeline::Core>(master);
             master.setCommitObserver(nullptr);
-            ledger->retarget(*scratch);
-            scratch->setCommitObserver(ledger.get());
-            drainee = scratch.get();
+            ledger->retarget(*drainCopy);
+            drainCopy->setCommitObserver(ledger.get());
+            drainee = drainCopy.get();
         }
         Cycle drained = 0;
         while (!ledger->complete(inflight.back().slot) &&
@@ -620,7 +825,7 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
         if (!ledger->complete(inflight.back().slot))
             ledger->forceFinalizeAll(); // hung master; see GoldenLedger
         if (!terminal) {
-            scratch->setCommitObserver(nullptr);
+            drainCopy->setCommitObserver(nullptr);
             ledger->retarget(master);
             master.setCommitObserver(ledger.get());
         }
@@ -651,6 +856,12 @@ u64
 CampaignSession::position() const
 {
     return impl_->trial;
+}
+
+void
+CampaignSession::rewind()
+{
+    impl_->rewind();
 }
 
 RangeOutcome

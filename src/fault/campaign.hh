@@ -335,6 +335,19 @@ class CampaignSession
     /** Next producible trial index (monotonic across runRange calls). */
     u64 position() const;
 
+    /**
+     * Reset the session to its post-warmup state (position() == 0), so
+     * a re-issued earlier range can be served without rebuilding the
+     * session — and in particular without re-running warmup, which
+     * dominates session construction. The master machine is restored
+     * from a retained warm snapshot by buffer-reusing assignment, the
+     * gap schedule restarts from cfg.seed, and the golden ledger (if
+     * any) is rebuilt empty; everything downstream is a pure function
+     * of (config, trial index), so trials re-executed after a rewind
+     * are bit-identical to their first execution.
+     */
+    void rewind();
+
   private:
     struct Impl;
     std::unique_ptr<Impl> impl_;

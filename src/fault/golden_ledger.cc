@@ -31,6 +31,8 @@ GoldenLedger::finalizeThread(u32 slot, unsigned tid)
     Entry &e = entries_[slot];
     e.arch[tid] = master_->archState(tid);
     e.digests[tid] = master_->memory().segmentDigest(tid);
+    if (master_->committed(tid) < e.targets[tid])
+        e.crossed = false; // halted / force-finalized short of target
     if (master_->trapOf(tid) != isa::Trap::None)
         e.trapped = true;
     fh_assert(e.remaining > 0, "ledger entry finalized twice");
@@ -55,6 +57,7 @@ GoldenLedger::open(const std::vector<u64> &targets)
     e.arch.assign(n, {});
     e.digests.assign(master_->memory().segmentCount(), 0);
     e.trapped = false;
+    e.crossed = true;
     e.remaining = n;
 
     for (unsigned tid = 0; tid < n; ++tid) {

@@ -61,6 +61,12 @@ class GoldenLedger final : public pipeline::CommitObserver
         std::vector<isa::ArchState> arch;  ///< per thread, at crossing
         std::vector<u64> digests;          ///< per segment (== thread)
         bool trapped = false;
+        /** True iff every thread finalized at a genuine commit-target
+         *  crossing (not a halt, pre-halted open, or force-finalize).
+         *  Exactly then a no-fault fork of the snapshot reaches its
+         *  targets and samples this entry's state — the precondition
+         *  for classifying provably-masked trials without forking. */
+        bool crossed = true;
         unsigned remaining = 0; ///< threads not yet crossed
     };
 

@@ -25,10 +25,18 @@ constexpr Cycle kWatchdogSlice = 4096;
 std::vector<u64>
 windowTargets(const pipeline::Core &base, u64 window)
 {
-    std::vector<u64> targets(base.numThreads());
-    for (unsigned tid = 0; tid < base.numThreads(); ++tid)
-        targets[tid] = base.committed(tid) + window;
+    std::vector<u64> targets;
+    windowTargetsInto(targets, base, window);
     return targets;
+}
+
+void
+windowTargetsInto(std::vector<u64> &out, const pipeline::Core &base,
+                  u64 window)
+{
+    out.resize(base.numThreads());
+    for (unsigned tid = 0; tid < base.numThreads(); ++tid)
+        out[tid] = base.committed(tid) + window;
 }
 
 ForkOutcome
@@ -40,12 +48,18 @@ runFork(const pipeline::Core &base, const InjectionPlan *plan,
                    max_cycles, deadline);
 }
 
-ForkOutcome
-runFork(pipeline::Core &&base, const InjectionPlan *plan,
-        bool detector_enabled, const std::vector<u64> &targets,
-        Cycle max_cycles, const ForkDeadline *deadline)
+namespace
 {
-    ForkOutcome out{std::move(base), false, false};
+
+/** Shared tail of every fork flavor: out.core already holds the forked
+ *  machine state; configure it, inject, and run the window. */
+void
+runPrepared(ForkOutcome &out, const InjectionPlan *plan,
+            bool detector_enabled, const std::vector<u64> &targets,
+            Cycle max_cycles, const ForkDeadline *deadline)
+{
+    out.reachedTargets = false;
+    out.trapped = false;
     // The fork is a copy of a (possibly observed) campaign master;
     // the ledger must only ever see the master itself.
     out.core.setCommitObserver(nullptr);
@@ -90,7 +104,41 @@ runFork(pipeline::Core &&base, const InjectionPlan *plan,
         }
     }
     out.trapped = out.core.anyTrap();
+}
+
+} // namespace
+
+ForkOutcome
+runFork(pipeline::Core &&base, const InjectionPlan *plan,
+        bool detector_enabled, const std::vector<u64> &targets,
+        Cycle max_cycles, const ForkDeadline *deadline)
+{
+    ForkOutcome out{std::move(base), false, false};
+    runPrepared(out, plan, detector_enabled, targets, max_cycles,
+                deadline);
     return out;
+}
+
+void
+runForkInto(ForkOutcome &out, const pipeline::Core &base,
+            const InjectionPlan *plan, bool detector_enabled,
+            const std::vector<u64> &targets, Cycle max_cycles,
+            const ForkDeadline *deadline)
+{
+    out.core = base;
+    runPrepared(out, plan, detector_enabled, targets, max_cycles,
+                deadline);
+}
+
+void
+runForkInto(ForkOutcome &out, pipeline::Core &&base,
+            const InjectionPlan *plan, bool detector_enabled,
+            const std::vector<u64> &targets, Cycle max_cycles,
+            const ForkDeadline *deadline)
+{
+    std::swap(out.core, base);
+    runPrepared(out, plan, detector_enabled, targets, max_cycles,
+                deadline);
 }
 
 bool

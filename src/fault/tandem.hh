@@ -47,6 +47,10 @@ struct ForkDeadline
 /** Per-thread commit targets for a run window starting at base. */
 std::vector<u64> windowTargets(const pipeline::Core &base, u64 window);
 
+/** As windowTargets, but into a caller-owned vector (capacity reuse). */
+void windowTargetsInto(std::vector<u64> &out, const pipeline::Core &base,
+                       u64 window);
+
 /**
  * Copy base, optionally inject plan, optionally enable the detector,
  * and run until the per-thread targets (bounded by max_cycles, and by
@@ -64,6 +68,29 @@ ForkOutcome runFork(const pipeline::Core &base, const InjectionPlan *plan,
 ForkOutcome runFork(pipeline::Core &&base, const InjectionPlan *plan,
                     bool detector_enabled, const std::vector<u64> &targets,
                     Cycle max_cycles, const ForkDeadline *deadline = nullptr);
+
+/**
+ * As runFork, but restore the fork state into a caller-owned scratch
+ * outcome by copy-assignment. Between same-parameter cores that is a
+ * flat-buffer memcpy reusing the scratch's existing storage, so a
+ * worker that keeps one scratch per fork kind allocates nothing in
+ * steady state.
+ */
+void runForkInto(ForkOutcome &out, const pipeline::Core &base,
+                 const InjectionPlan *plan, bool detector_enabled,
+                 const std::vector<u64> &targets, Cycle max_cycles,
+                 const ForkDeadline *deadline = nullptr);
+
+/**
+ * Consuming flavor: swaps base's buffers into the scratch (and the
+ * scratch's previous buffers back into base), so both stay warm and
+ * no copy of the machine is made at all. base is left valid but
+ * unspecified; the caller overwrites it before any reuse.
+ */
+void runForkInto(ForkOutcome &out, pipeline::Core &&base,
+                 const InjectionPlan *plan, bool detector_enabled,
+                 const std::vector<u64> &targets, Cycle max_cycles,
+                 const ForkDeadline *deadline = nullptr);
 
 /**
  * Architectural equivalence: per-thread registers, commit PCs, halt

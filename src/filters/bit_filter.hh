@@ -21,8 +21,8 @@
 #define FH_FILTERS_BIT_FILTER_HH
 
 #include <array>
-#include <bit>
 
+#include "sim/popcount.hh"
 #include "sim/types.hh"
 
 namespace fh::filters
@@ -86,7 +86,7 @@ class BitFilter
      *  TCAM scan's innermost operation. */
     unsigned mismatchCount(u64 value) const
     {
-        return static_cast<unsigned>(std::popcount(mismatchMask(value)));
+        return popcount64(mismatchMask(value));
     }
 
     /**

@@ -15,7 +15,10 @@ Cache::Cache(const CacheParams &params) : params_(params)
     numSets_ = static_cast<unsigned>(lines / params_.ways);
     fh_assert(std::has_single_bit(static_cast<u64>(numSets_)),
               "sets must be a power of two");
-    lines_.resize(lines);
+    tags_.resize(lines, 0);
+    valid_.resize(lines, 0);
+    lastUse_.resize(lines, 0);
+    readyAt_.resize(lines, 0);
 }
 
 unsigned
@@ -35,14 +38,14 @@ Cache::find(Addr addr, Cycle now, Cycle &ready_at)
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
-    Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
+    const size_t base = static_cast<size_t>(set) * params_.ways;
     ++useClock_;
 
     for (unsigned w = 0; w < params_.ways; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = useClock_;
-            ready_at = line.readyAt > now ? line.readyAt : now;
+        const size_t i = base + w;
+        if (valid_[i] && tags_[i] == tag) {
+            lastUse_[i] = useClock_;
+            ready_at = readyAt_[i] > now ? readyAt_[i] : now;
             ++hits_;
             return true;
         }
@@ -57,27 +60,29 @@ Cache::install(Addr addr, Cycle now, Cycle ready_at)
     (void)now;
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
-    Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
+    const size_t base = static_cast<size_t>(set) * params_.ways;
     ++useClock_;
 
-    Line *victim = base;
+    // Victim preference: refill of an existing line, else the last
+    // invalid way, else true LRU.
+    size_t victim = base;
     for (unsigned w = 0; w < params_.ways; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            victim = &line; // refill of an existing line
+        const size_t i = base + w;
+        if (valid_[i] && tags_[i] == tag) {
+            victim = i; // refill of an existing line
             break;
         }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
-            victim = &line;
+        if (!valid_[i]) {
+            victim = i;
+        } else if (valid_[victim] && lastUse_[i] < lastUse_[victim]) {
+            victim = i;
         }
     }
 
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = useClock_;
-    victim->readyAt = ready_at;
+    valid_[victim] = 1;
+    tags_[victim] = tag;
+    lastUse_[victim] = useClock_;
+    readyAt_[victim] = ready_at;
 }
 
 bool
@@ -85,9 +90,9 @@ Cache::probe(Addr addr) const
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
-    const Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
+    const size_t base = static_cast<size_t>(set) * params_.ways;
     for (unsigned w = 0; w < params_.ways; ++w)
-        if (base[w].valid && base[w].tag == tag)
+        if (valid_[base + w] && tags_[base + w] == tag)
             return true;
     return false;
 }
@@ -95,8 +100,8 @@ Cache::probe(Addr addr) const
 void
 Cache::flush()
 {
-    for (auto &line : lines_)
-        line.valid = false;
+    for (auto &v : valid_)
+        v = 0;
 }
 
 double

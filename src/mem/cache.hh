@@ -10,6 +10,12 @@
  * in flight pays the remaining fill time (an MSHR hit), which keeps
  * squashed wrong-path and re-executed accesses from acting as free
  * prefetches.
+ *
+ * Line state is stored structure-of-arrays (tags / valid / lastUse /
+ * readyAt), so the per-access way scan streams the tag array alone,
+ * and a cache fork copies four flat vectors — 25 bytes per line
+ * instead of a 32-byte padded struct — which matters at fork rates of
+ * hundreds of copies per second on a megabyte-sized L2.
  */
 
 #ifndef FH_MEM_CACHE_HH
@@ -67,22 +73,16 @@ class Cache
     bool operator==(const Cache &other) const = default;
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        u64 lastUse = 0;   ///< LRU timestamp
-        Cycle readyAt = 0; ///< fill completion time
-
-        bool operator==(const Line &other) const = default;
-    };
-
     unsigned setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
     CacheParams params_;
     unsigned numSets_;
-    std::vector<Line> lines_; ///< numSets_ * ways, set-major
+    // numSets_ * ways entries each, set-major (parallel arrays).
+    std::vector<Addr> tags_;
+    std::vector<u8> valid_;
+    std::vector<u64> lastUse_;  ///< LRU timestamps
+    std::vector<Cycle> readyAt_; ///< fill completion times
     u64 useClock_ = 0;
     u64 hits_ = 0;
     u64 misses_ = 0;

@@ -5,6 +5,31 @@
 namespace fh::mem
 {
 
+Memory &
+Memory::operator=(const Memory &other)
+{
+    if (this == &other)
+        return *this;
+    if (backings_.size() != other.backings_.size()) {
+        backings_ = other.backings_;
+        lastHit_ = other.lastHit_;
+        return *this;
+    }
+    for (size_t i = 0; i < backings_.size(); ++i) {
+        Backing &dst = backings_[i];
+        const Backing &src = other.backings_[i];
+        dst.seg = src.seg;
+        dst.digest = src.digest;
+        if (dst.words == src.words)
+            continue; // already sharing: nothing to copy
+        if (dst.words && dst.words.use_count() == 1)
+            dst.spare = std::move(dst.words); // recycle, don't free
+        dst.words = src.words; // COW-share; detach on first write
+    }
+    lastHit_ = other.lastHit_;
+    return *this;
+}
+
 void
 Memory::addSegment(Addr base, u64 size)
 {

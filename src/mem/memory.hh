@@ -59,6 +59,21 @@ class Memory
 {
   public:
     Memory() = default;
+    Memory(const Memory &) = default;
+    Memory(Memory &&) = default;
+    Memory &operator=(Memory &&) = default;
+
+    /**
+     * Copy assignment recycles storage: a backing whose target-side
+     * buffer is exclusively owned (a scratch fork's privately
+     * detached segment) is stashed as a spare instead of freed, and
+     * the next detach copies into the spare rather than allocating.
+     * A reused fork thus COWs exactly as before — only written
+     * segments are ever copied — but with no allocation or page
+     * churn in the steady state. Contents and digests are identical
+     * either way.
+     */
+    Memory &operator=(const Memory &other);
 
     /** Declare a valid segment (zero-filled). May not overlap. */
     void addSegment(Addr base, u64 size);
@@ -135,6 +150,10 @@ class Memory
         /** XOR-multiset content digest; travels with the value (a
          *  copied Memory keeps the digest even while sharing words). */
         u64 digest = 0;
+        /** Retired private buffer awaiting reuse by detach(). Only
+         *  consumed while exclusively held, so sharing it around via
+         *  backing copies is safe, just unproductive. */
+        std::shared_ptr<std::vector<u64>> spare;
     };
 
     const Backing *find(Addr a) const;
@@ -146,8 +165,15 @@ class Memory
      *  harmless extra copy. */
     static void detach(Backing &b)
     {
-        if (b.words.use_count() > 1)
+        if (b.words.use_count() <= 1)
+            return;
+        if (b.spare && b.spare.use_count() == 1 &&
+            b.spare->size() == b.words->size()) {
+            *b.spare = *b.words; // same-size copy: no allocation
+            b.words = std::move(b.spare);
+        } else {
             b.words = std::make_shared<std::vector<u64>>(*b.words);
+        }
     }
 
     std::vector<Backing> backings_;

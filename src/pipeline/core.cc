@@ -31,7 +31,6 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
     : params_(params),
       prog_(prog),
       hier_(params.memory),
-      regfile_(params.physRegs),
       predictor_(params.predictorEntries),
       detector_(params.detector)
 {
@@ -49,15 +48,72 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
     // overcommitted copies get the same per-thread window as the
     // baseline threads, so window-depth effects cancel out of the
     // comparison.
-    robs_.assign(params_.threads,
-                 Rob(std::max(8u, params_.robSize / 2)));
-    renames_.resize(params_.threads);
-    threads_.resize(params_.threads);
-    lsqCounts_.assign(params_.threads, 0);
-    iqLists_.resize(params_.threads);
-    issuedLists_.resize(params_.threads);
+    const unsigned nt = params_.threads;
+    const unsigned rob_cap = std::max(8u, params_.robSize / 2);
 
-    for (unsigned tid = 0; tid < params_.threads; ++tid) {
+    // Ring capacities are hard bounds from the pipeline's own gating:
+    // fetch skips a thread at >= 4*fetchWidth queued and then adds at
+    // most fetchWidth; the delay buffer is trimmed right after each
+    // push; dispatch stalls a context at lsqSize/2 memory ops, and the
+    // store list only ever holds a subset of those.
+    const u32 fetch_cap = 5 * params_.fetchWidth;
+    const u32 delay_cap = params_.delayBufferSize + 1;
+    const u32 store_cap = params_.lsqSize / 2 + 1;
+    // Scan lists hold at most rob_cap live refs; the slack absorbs
+    // stale refs between compactions.
+    const u32 ref_cap = 2 * rob_cap + 16;
+
+    // Arena layout. Hot arrays (scanned or probed every cycle) are
+    // grouped at the front, cold per-entry payloads at the back.
+    struct PerTid
+    {
+        size_t hot, iq, issued, delay, store, cold, fetch;
+    };
+    std::vector<PerTid> off(nt);
+    for (unsigned tid = 0; tid < nt; ++tid)
+        off[tid].hot = arena_.reserve<RobHot>(rob_cap);
+    const size_t ready_off = arena_.reserve<u8>(params_.physRegs);
+    const size_t free_off = arena_.reserve<u8>(params_.physRegs);
+    for (unsigned tid = 0; tid < nt; ++tid) {
+        off[tid].iq = arena_.reserve<SeqRef>(ref_cap);
+        off[tid].issued = arena_.reserve<FinishRef>(ref_cap);
+        off[tid].delay = arena_.reserve<u32>(delay_cap);
+        off[tid].store = arena_.reserve<u32>(store_cap);
+    }
+    const size_t stack_off = arena_.reserve<u32>(params_.physRegs);
+    const size_t values_off = arena_.reserve<u64>(params_.physRegs);
+    for (unsigned tid = 0; tid < nt; ++tid)
+        off[tid].cold = arena_.reserve<RobCold>(rob_cap);
+    for (unsigned tid = 0; tid < nt; ++tid)
+        off[tid].fetch = arena_.reserve<FetchedInst>(fetch_cap);
+    arena_.commit();
+
+    regfile_.bind(arena_.at<u64>(values_off), arena_.at<u8>(ready_off),
+                  arena_.at<u8>(free_off), arena_.at<u32>(stack_off),
+                  params_.physRegs);
+    regfile_.reset();
+
+    robs_.resize(nt);
+    renames_.resize(nt);
+    threads_.resize(nt);
+    lsqCounts_.assign(nt, 0);
+    iqLists_.resize(nt);
+    issuedLists_.resize(nt);
+    for (unsigned tid = 0; tid < nt; ++tid) {
+        robs_[tid].bind(arena_.at<RobHot>(off[tid].hot),
+                        arena_.at<RobCold>(off[tid].cold), rob_cap);
+        robs_[tid].reset();
+        ThreadState &ts = threads_[tid];
+        ts.fetchQ.bind(arena_.at<FetchedInst>(off[tid].fetch),
+                       fetch_cap);
+        ts.delayBuffer.bind(arena_.at<u32>(off[tid].delay), delay_cap);
+        ts.storeList.bind(arena_.at<u32>(off[tid].store), store_cap);
+        iqLists_[tid].bind(arena_.at<SeqRef>(off[tid].iq), ref_cap);
+        issuedLists_[tid].bind(arena_.at<FinishRef>(off[tid].issued),
+                               ref_cap);
+    }
+
+    for (unsigned tid = 0; tid < nt; ++tid) {
         std::array<unsigned, isa::numArchRegs> map{};
         const isa::ArchState init = isa::initialState(*prog_, tid);
         for (unsigned arch = 0; arch < isa::numArchRegs; ++arch) {
@@ -72,14 +128,144 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
     }
 }
 
+// NOTE: the copy ctor and copy-assignment below must list / assign
+// every member; update both when adding one. They end with
+// rebindViews(), which shifts every arena view pointer from the
+// source's buffer onto ours. Assignment between same-parameter cores
+// is allocation-free: every vector (arena bytes included) reuses the
+// target's existing storage.
+Core::Core(const Core &other)
+    : params_(other.params_),
+      prog_(other.prog_),
+      cycle_(other.cycle_),
+      nextSeq_(other.nextSeq_),
+      memory_(other.memory_),
+      hier_(other.hier_),
+      predictor_(other.predictor_),
+      detector_(other.detector_),
+      detectorEnabled_(other.detectorEnabled_),
+      faultDetected_(other.faultDetected_),
+      quiesceFrozen_(other.quiesceFrozen_),
+      observer_(other.observer_),
+      arena_(other.arena_),
+      regfile_(other.regfile_),
+      renames_(other.renames_),
+      robs_(other.robs_),
+      threads_(other.threads_),
+      iqCount_(other.iqCount_),
+      lsqCounts_(other.lsqCounts_),
+      iqLists_(other.iqLists_),
+      issuedLists_(other.issuedLists_),
+      fetchRotate_(other.fetchRotate_),
+      issueBlockedUntil_(other.issueBlockedUntil_),
+      stats_(other.stats_),
+      probe_(other.probe_)
+{
+    rebindViews(other);
+}
+
+Core &
+Core::operator=(const Core &other)
+{
+    if (this == &other)
+        return *this;
+    params_ = other.params_;
+    prog_ = other.prog_;
+    cycle_ = other.cycle_;
+    nextSeq_ = other.nextSeq_;
+    memory_ = other.memory_;
+    hier_ = other.hier_;
+    predictor_ = other.predictor_;
+    detector_ = other.detector_;
+    detectorEnabled_ = other.detectorEnabled_;
+    faultDetected_ = other.faultDetected_;
+    quiesceFrozen_ = other.quiesceFrozen_;
+    observer_ = other.observer_;
+    arena_ = other.arena_;
+    regfile_ = other.regfile_;
+    renames_ = other.renames_;
+    robs_ = other.robs_;
+    threads_ = other.threads_;
+    iqCount_ = other.iqCount_;
+    lsqCounts_ = other.lsqCounts_;
+    scanScratch_.clear(); // always empty between ticks; keep capacity
+    iqLists_ = other.iqLists_;
+    issuedLists_ = other.issuedLists_;
+    fetchRotate_ = other.fetchRotate_;
+    issueBlockedUntil_ = other.issueBlockedUntil_;
+    stats_ = other.stats_;
+    probe_ = other.probe_;
+    rebindViews(other);
+    return *this;
+}
+
+void
+Core::rebindViews(const Core &other)
+{
+    const std::ptrdiff_t delta = arenaDelta(arena_, other.arena_);
+    regfile_.shiftBase(delta);
+    for (Rob &rob : robs_)
+        rob.shiftBase(delta);
+    for (ThreadState &ts : threads_) {
+        ts.fetchQ.shiftBase(delta);
+        ts.delayBuffer.shiftBase(delta);
+        ts.storeList.shiftBase(delta);
+    }
+    for (RefList<SeqRef> &list : iqLists_)
+        list.shiftBase(delta);
+    for (RefList<FinishRef> &list : issuedLists_)
+        list.shiftBase(delta);
+}
+
 bool
-Core::occupiesIq(const RobEntry &entry)
+Core::occupiesIq(const RobHot &h)
 {
     // The delay buffer is separate storage (Figure 4 of the paper:
     // it "conceptually extends the pipeline depth after completion"),
     // so completed instructions held for replay do not occupy
     // scheduler slots; replay marking re-acquires one.
-    return entry.valid && entry.state == EntryState::Dispatched;
+    return h.valid && h.state == EntryState::Dispatched;
+}
+
+void
+Core::pushRef(RefList<SeqRef> &list, EntryState want, const SeqRef &ref)
+{
+    if (list.full()) {
+        const Rob &rob = robs_[ref.tid];
+        list.compact([&](const SeqRef &r) {
+            const RobHot &h = rob.hot(r.slot);
+            return h.valid && h.seq == r.seq && h.state == want;
+        });
+    }
+    list.push_back(ref);
+}
+
+void
+Core::pushRef(RefList<FinishRef> &list, EntryState want,
+              const FinishRef &ref)
+{
+    if (list.full()) {
+        const Rob &rob = robs_[ref.tid];
+        list.compact([&](const FinishRef &r) {
+            const RobHot &h = rob.hot(r.slot);
+            return h.valid && h.seq == r.seq && h.state == want;
+        });
+    }
+    list.push_back(ref);
+}
+
+void
+Core::sortBySeq(std::vector<SeqRef> &v)
+{
+    for (size_t i = 1; i < v.size(); ++i) {
+        const SeqRef key = v[i];
+        size_t j = i;
+        while (j > 0 && v[j - 1].seq > key.seq) {
+            v[j] = v[j - 1];
+            --j;
+        }
+        v[j] = key;
+    }
 }
 
 unsigned
@@ -88,7 +274,7 @@ Core::computeIqOccupancy() const
     unsigned n = 0;
     for (const Rob &rob : robs_)
         for (unsigned i = 0; i < rob.size(); ++i)
-            n += occupiesIq(rob.at(rob.slotAt(i))) ? 1 : 0;
+            n += occupiesIq(rob.hot(rob.slotAt(i))) ? 1 : 0;
     return n;
 }
 
@@ -98,8 +284,8 @@ Core::computeLsqOccupancy() const
     unsigned n = 0;
     for (const Rob &rob : robs_)
         for (unsigned i = 0; i < rob.size(); ++i) {
-            const RobEntry &e = rob.at(rob.slotAt(i));
-            n += (e.valid && (e.isLoad || e.isStore)) ? 1 : 0;
+            const RobHot &h = rob.hot(rob.slotAt(i));
+            n += (h.valid && (h.isLoad || h.isStore)) ? 1 : 0;
         }
     return n;
 }
@@ -226,17 +412,18 @@ Core::tryCommitHead(unsigned tid)
     }
 
     const unsigned slot = rob.headSlot();
-    RobEntry &e = rob.at(slot);
-    if (e.state != EntryState::Completed)
+    RobHot &h = rob.hot(slot);
+    RobCold &e = rob.cold(slot);
+    if (h.state != EntryState::Completed)
         return false;
     if (e.commitReadyAt > cycle_)
         return false;
 
     // Commit-time LSQ check + singleton re-execute (Section 3.5).
-    if ((e.isLoad || e.isStore) && !e.reexecDone && detectorEnabled_ &&
+    if ((h.isLoad || h.isStore) && !e.reexecDone && detectorEnabled_ &&
         detector_.active()) {
         CommitAction action = CommitAction::None;
-        if (e.isLoad) {
+        if (h.isLoad) {
             action = detector_.checkCommit(StreamKind::LoadAddr, e.pc,
                                            e.effAddr);
         } else {
@@ -259,15 +446,15 @@ Core::tryCommitHead(unsigned tid)
                          cycle_ + params_.reexecPenalty);
             e.commitReadyAt = cycle_ + params_.reexecPenalty;
 
-            const u64 a = e.src1Preg != invalidPreg
-                              ? regfile_.read(e.src1Preg)
+            const u64 a = h.src1Preg != invalidPreg
+                              ? regfile_.read(h.src1Preg)
                               : 0;
             ++stats_.regReads;
             const Addr addr_new = isa::effectiveAddr(e.inst, a);
             bool mismatch = addr_new != e.effAddr;
-            if (e.isStore) {
-                const u64 data_new = e.src2Preg != invalidPreg
-                                         ? regfile_.read(e.src2Preg)
+            if (h.isStore) {
+                const u64 data_new = h.src2Preg != invalidPreg
+                                         ? regfile_.read(h.src2Preg)
                                          : 0;
                 ++stats_.regReads;
                 mismatch = mismatch || data_new != e.storeData;
@@ -297,7 +484,7 @@ Core::tryCommitHead(unsigned tid)
         return false;
     }
 
-    if (e.isStore) {
+    if (h.isStore) {
         auto res = memory_.write(e.effAddr, e.storeData);
         if (res != mem::AccessResult::Ok) {
             ts.trap = res == mem::AccessResult::Unmapped
@@ -322,16 +509,16 @@ Core::tryCommitHead(unsigned tid)
     else
         ts.nextCommitPc = e.pc + 1;
 
-    if (occupiesIq(e))
+    if (occupiesIq(h))
         --iqCount_;
-    purgeFromQueues(ts, slot);
-    if (e.isLoad || e.isStore)
+    purgeFromQueues(ts, h, e, slot);
+    if (h.isLoad || h.isStore)
         --lsqCounts_[tid];
 
     const bool was_halt = e.inst.op == isa::Op::Halt;
-    if (e.isLoad)
+    if (h.isLoad)
         ++stats_.committedLoads;
-    if (e.isStore)
+    if (h.isStore)
         ++stats_.committedStores;
     if (isa::isBranch(e.inst.op))
         ++stats_.committedBranches;
@@ -376,43 +563,59 @@ Core::completeStage()
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         Rob &rob = robs_[tid];
         // Scan only the slots known to be executing instead of the
-        // whole window; stale refs (squashed, completed, reused) fall
-        // out of the list here.
-        std::vector<SeqRef> &il = issuedLists_[tid];
-        size_t keep = 0;
-        for (const SeqRef &ref : il) {
-            const RobEntry &e = rob.at(ref.slot);
-            if (!e.valid || e.seq != ref.seq ||
-                e.state != EntryState::Issued) {
+        // whole window. Each ref carries the finish time recorded at
+        // issue; entries whose key is still in the future can't
+        // complete this cycle (the key never exceeds the live
+        // finishCycle), so the scan skips them on the local word alone
+        // without touching the ROB. Due refs get the full staleness
+        // check (squashed, completed, reused) and fall out here,
+        // exactly as the header-checked scan dropped them.
+        RefList<FinishRef> &il = issuedLists_[tid];
+        u32 keep = 0;
+        for (u32 i = 0; i < il.size(); ++i) {
+            FinishRef ref = il[i];
+            if (ref.finish > cycle_) {
+                if (keep != i)
+                    il[keep] = ref;
+                ++keep;
                 continue;
             }
+            const RobHot &h = rob.hot(ref.slot);
+            if (!h.valid || h.seq != ref.seq ||
+                h.state != EntryState::Issued) {
+                continue;
+            }
+            ref.finish = h.finishCycle; // re-sync a deferred store
             il[keep++] = ref;
-            if (e.finishCycle <= cycle_)
-                pending.push_back(ref);
+            if (h.finishCycle <= cycle_)
+                pending.push_back({ref.seq, ref.tid, ref.slot});
         }
         il.resize(keep);
     }
-    std::sort(pending.begin(), pending.end(),
-              [](const SeqRef &x, const SeqRef &y) {
-                  return x.seq < y.seq;
-              });
+    sortBySeq(pending);
 
     for (const SeqRef &p : pending) {
-        RobEntry &e = robs_[p.tid].at(p.slot);
+        Rob &rob = robs_[p.tid];
+        RobHot &h = rob.hot(p.slot);
         // Re-validate: an earlier completion may have squashed us.
-        if (!e.valid || e.seq != p.seq || e.state != EntryState::Issued)
+        if (!h.valid || h.seq != p.seq ||
+            h.state != EntryState::Issued) {
             continue;
-        if (e.isStore && !e.dataValid) {
-            // Split store-data: capture the data operand when it
-            // becomes ready; completion defers until then.
-            if (e.src2Preg != invalidPreg &&
-                regfile_.ready(e.src2Preg)) {
-                e.storeData = regfile_.read(e.src2Preg);
-                ++stats_.regReads;
-                e.dataValid = true;
-            } else {
-                e.finishCycle = cycle_ + 1;
-                continue;
+        }
+        if (h.isStore) {
+            RobCold &e = rob.cold(p.slot);
+            if (!e.dataValid) {
+                // Split store-data: capture the data operand when it
+                // becomes ready; completion defers until then.
+                if (h.src2Preg != invalidPreg &&
+                    regfile_.ready(h.src2Preg)) {
+                    e.storeData = regfile_.read(h.src2Preg);
+                    ++stats_.regReads;
+                    e.dataValid = true;
+                } else {
+                    h.finishCycle = cycle_ + 1;
+                    continue;
+                }
             }
         }
         completeEntry(p.tid, p.slot);
@@ -424,11 +627,13 @@ void
 Core::completeEntry(unsigned tid, unsigned slot)
 {
     ThreadState &ts = threads_[tid];
-    RobEntry &e = robs_[tid].at(slot);
+    Rob &rob = robs_[tid];
+    RobHot &h = rob.hot(slot);
+    RobCold &e = rob.cold(slot);
 
     const bool was_replay = e.inReplay;
     const bool first_completion = !e.completedOnce;
-    e.state = EntryState::Completed;
+    h.state = EntryState::Completed;
     e.completedOnce = true;
     e.commitReadyAt =
         std::max(e.commitReadyAt, cycle_ + params_.commitDelay);
@@ -440,7 +645,7 @@ Core::completeEntry(unsigned tid, unsigned slot)
 
     if (isa::isBranch(e.inst.op))
         resolveBranch(tid, slot);
-    if (!e.valid) {
+    if (!h.valid) {
         // resolveBranch cannot squash the branch itself, but guard
         // against future changes.
         return;
@@ -450,9 +655,14 @@ Core::completeEntry(unsigned tid, unsigned slot)
         e.inReplay = false;
         ++stats_.replaysExecuted;
     }
-    if (detector_.scheme() == filters::Scheme::FaultHound &&
+    if (detectorEnabled_ &&
+        detector_.scheme() == filters::Scheme::FaultHound &&
         detector_.params().replayRecovery &&
         params_.delayBufferSize > 0) {
+        // Detector-off cores (bare forks) skip the hold: the buffer
+        // feeds triggerReplay alone, which is gated on detectorEnabled_,
+        // and residency has no timing effect (occupiesIq excludes it) —
+        // so an unread buffer would only tax every commit's purge.
         // Hold the completed instruction in the delay buffer for
         // potential predecessor replay. Replayed instructions
         // re-enter like any other completion, so a false-positive
@@ -463,22 +673,23 @@ Core::completeEntry(unsigned tid, unsigned slot)
         if (ts.delayBuffer.size() > params_.delayBufferSize) {
             unsigned old_slot = ts.delayBuffer.front();
             ts.delayBuffer.pop_front();
-            RobEntry &old_e = robs_[tid].at(old_slot);
-            if (old_e.valid && old_e.inDelayBuffer)
-                old_e.inDelayBuffer = false;
+            if (rob.hot(old_slot).valid &&
+                rob.cold(old_slot).inDelayBuffer) {
+                rob.cold(old_slot).inDelayBuffer = false;
+            }
         }
     }
 
     if (probe_.enabled && first_completion) {
-        if (e.isLoad)
+        if (h.isLoad)
             probe_.sample(StreamKind::LoadAddr, e.pc, e.effAddr);
-        if (e.isStore) {
+        if (h.isStore) {
             probe_.sample(StreamKind::StoreAddr, e.pc, e.effAddr);
             probe_.sample(StreamKind::StoreValue, e.pc, e.storeData);
         }
     }
 
-    if (e.isLoad || e.isStore)
+    if (h.isLoad || h.isStore)
         runCompleteChecks(tid, slot);
 }
 
@@ -486,7 +697,9 @@ void
 Core::resolveBranch(unsigned tid, unsigned slot)
 {
     ThreadState &ts = threads_[tid];
-    RobEntry &e = robs_[tid].at(slot);
+    Rob &rob = robs_[tid];
+    const RobHot &h = rob.hot(slot);
+    RobCold &e = rob.cold(slot);
     const bool taken = e.result != 0;
 
     if (!e.resolvedOnce) {
@@ -496,7 +709,7 @@ Core::resolveBranch(unsigned tid, unsigned slot)
             predictor_.update(tid, e.pc, taken);
         if (taken != e.predTaken) {
             ++stats_.mispredicts;
-            squashYounger(tid, e.seq);
+            squashYounger(tid, h.seq);
             redirectFetch(tid, taken ? e.inst.target : e.pc + 1);
         }
         return;
@@ -507,7 +720,7 @@ Core::resolveBranch(unsigned tid, unsigned slot)
     if (taken != e.usedTaken) {
         e.usedTaken = taken;
         ++stats_.mispredicts;
-        squashYounger(tid, e.seq);
+        squashYounger(tid, h.seq);
         redirectFetch(tid, taken ? e.inst.target : e.pc + 1);
     }
 }
@@ -519,7 +732,8 @@ Core::runCompleteChecks(unsigned tid, unsigned slot)
         return;
 
     ThreadState &ts = threads_[tid];
-    RobEntry &e = robs_[tid].at(slot);
+    const RobHot &h = robs_[tid].hot(slot);
+    RobCold &e = robs_[tid].cold(slot);
 
     auto exempt = [&]() -> bool {
         if (e.inReplay)
@@ -532,7 +746,7 @@ Core::runCompleteChecks(unsigned tid, unsigned slot)
     };
 
     CompleteAction worst = CompleteAction::None;
-    if (e.isLoad) {
+    if (h.isLoad) {
         worst = detector_.checkComplete(StreamKind::LoadAddr, e.pc,
                                         e.effAddr, exempt());
     } else {
@@ -555,10 +769,13 @@ bool
 Core::loadBlocked(unsigned tid, SeqNum seq, Addr addr) const
 {
     const ThreadState &ts = threads_[tid];
-    for (unsigned slot : ts.storeList) {
-        const RobEntry &s = robs_[tid].at(slot);
-        if (!s.valid || s.seq >= seq)
+    const Rob &rob = robs_[tid];
+    for (u32 i = 0; i < ts.storeList.size(); ++i) {
+        const unsigned slot = ts.storeList[i];
+        const RobHot &sh = rob.hot(slot);
+        if (!sh.valid || sh.seq >= seq)
             continue;
+        const RobCold &s = rob.cold(slot);
         if (!s.addrValid)
             return true; // no memory-dependence speculation
         if (s.effAddr == addr && !s.dataValid)
@@ -568,38 +785,43 @@ Core::loadBlocked(unsigned tid, SeqNum seq, Addr addr) const
 }
 
 u64
-Core::loadValueFor(const RobEntry &entry, unsigned tid) const
+Core::loadValueFor(unsigned tid, SeqNum seq, Addr addr) const
 {
     const ThreadState &ts = threads_[tid];
+    const Rob &rob = robs_[tid];
     // Forward from the youngest older store to the same address (its
     // data is ready: loadBlocked gates issue otherwise).
-    for (auto it = ts.storeList.rbegin(); it != ts.storeList.rend();
-         ++it) {
-        const RobEntry &s = robs_[tid].at(*it);
-        if (s.valid && s.seq < entry.seq && s.addrValid &&
-            s.effAddr == entry.effAddr && s.dataValid) {
+    for (u32 i = ts.storeList.size(); i-- > 0;) {
+        const unsigned slot = ts.storeList[i];
+        const RobHot &sh = rob.hot(slot);
+        if (!sh.valid || sh.seq >= seq)
+            continue;
+        const RobCold &s = rob.cold(slot);
+        if (s.addrValid && s.effAddr == addr && s.dataValid)
             return s.storeData;
-        }
     }
     u64 value = 0;
-    memory_.read(entry.effAddr, value);
+    memory_.read(addr, value);
     return value;
 }
 
 void
-Core::executeAtIssue(RobEntry &entry)
+Core::executeAtIssue(unsigned tid, unsigned slot)
 {
-    ThreadState &ts = threads_[entry.tid];
+    Rob &rob = robs_[tid];
+    RobHot &h = rob.hot(slot);
+    RobCold &entry = rob.cold(slot);
+    ThreadState &ts = threads_[tid];
     const bool is_store = isa::classOf(entry.inst.op) ==
                           isa::OpClass::Store;
     u64 a = 0;
     u64 b = 0;
-    if (entry.src1Preg != invalidPreg) {
-        a = regfile_.read(entry.src1Preg);
+    if (h.src1Preg != invalidPreg) {
+        a = regfile_.read(h.src1Preg);
         ++stats_.regReads;
     }
-    if (entry.src2Preg != invalidPreg && !is_store) {
-        b = regfile_.read(entry.src2Preg);
+    if (h.src2Preg != invalidPreg && !is_store) {
+        b = regfile_.read(h.src2Preg);
         ++stats_.regReads;
     }
 
@@ -607,7 +829,7 @@ Core::executeAtIssue(RobEntry &entry)
       case isa::OpClass::IntAlu:
       case isa::OpClass::IntMul:
         entry.result = isa::aluCompute(entry.inst, a, b);
-        entry.finishCycle = cycle_ + isa::execLatency(entry.inst.op);
+        h.finishCycle = cycle_ + isa::execLatency(entry.inst.op);
         break;
       case isa::OpClass::Load: {
         entry.effAddr = isa::effectiveAddr(entry.inst, a);
@@ -622,10 +844,10 @@ Core::executeAtIssue(RobEntry &entry)
                              : isa::Trap::MemMisaligned;
             entry.result = 0;
         } else {
-            entry.result = loadValueFor(entry, entry.tid);
+            entry.result = loadValueFor(tid, h.seq, entry.effAddr);
         }
         entry.loadValue = entry.result;
-        entry.finishCycle = cycle_ + 1 + latency;
+        h.finishCycle = cycle_ + 1 + latency;
         break;
       }
       case isa::OpClass::Store:
@@ -635,21 +857,21 @@ Core::executeAtIssue(RobEntry &entry)
         entry.effAddr = isa::effectiveAddr(entry.inst, a);
         entry.addrValid = true;
         entry.dataValid = false;
-        if (entry.src2Preg == invalidPreg) {
+        if (h.src2Preg == invalidPreg) {
             entry.storeData = 0;
             entry.dataValid = true;
-        } else if (regfile_.ready(entry.src2Preg)) {
-            entry.storeData = regfile_.read(entry.src2Preg);
+        } else if (regfile_.ready(h.src2Preg)) {
+            entry.storeData = regfile_.read(h.src2Preg);
             ++stats_.regReads;
             entry.dataValid = true;
         }
         if (!ts.opts.perfectDcache)
             hier_.data(entry.effAddr, cycle_);
-        entry.finishCycle = cycle_ + 1;
+        h.finishCycle = cycle_ + 1;
         break;
       case isa::OpClass::Branch:
         entry.result = isa::branchTaken(entry.inst.op, a, b) ? 1 : 0;
-        entry.finishCycle = cycle_ + 1;
+        h.finishCycle = cycle_ + 1;
         break;
       default:
         fh_panic("executeAtIssue on %s",
@@ -671,39 +893,42 @@ Core::issueStage()
         // refs (squashed, issued, reused) fall out of the list here.
         // List order does not matter — the sort below puts candidates
         // in seq order, exactly as the full ROB walk produced them.
-        std::vector<SeqRef> &iq = iqLists_[tid];
-        size_t keep = 0;
-        for (const SeqRef &ref : iq) {
-            const RobEntry &e = rob.at(ref.slot);
-            if (!e.valid || e.seq != ref.seq ||
-                e.state != EntryState::Dispatched) {
+        // Rejections read only the hot headers and ready bytes; the
+        // cold payload is touched for ready loads alone.
+        RefList<SeqRef> &iq = iqLists_[tid];
+        u32 keep = 0;
+        for (u32 i = 0; i < iq.size(); ++i) {
+            const SeqRef ref = iq[i];
+            const RobHot &h = rob.hot(ref.slot);
+            if (!h.valid || h.seq != ref.seq ||
+                h.state != EntryState::Dispatched) {
                 continue;
             }
-            iq[keep++] = ref;
-            if (e.src1Preg != invalidPreg && !regfile_.ready(e.src1Preg))
+            if (keep != i)
+                iq[keep] = ref;
+            ++keep;
+            if (h.src1Preg != invalidPreg && !regfile_.ready(h.src1Preg))
                 continue;
             // Stores wait only for the address operand; the data is
             // captured later (split store-address/store-data).
-            if (!e.isStore && e.src2Preg != invalidPreg &&
-                !regfile_.ready(e.src2Preg)) {
+            if (!h.isStore && h.src2Preg != invalidPreg &&
+                !regfile_.ready(h.src2Preg)) {
                 continue;
             }
-            if (e.isLoad) {
-                const u64 base_val = e.src1Preg != invalidPreg
-                                         ? regfile_.read(e.src1Preg)
+            if (h.isLoad) {
+                const RobCold &e = rob.cold(ref.slot);
+                const u64 base_val = h.src1Preg != invalidPreg
+                                         ? regfile_.read(h.src1Preg)
                                          : 0;
                 const Addr addr = isa::effectiveAddr(e.inst, base_val);
-                if (loadBlocked(tid, e.seq, addr))
+                if (loadBlocked(tid, h.seq, addr))
                     continue;
             }
             ready.push_back(ref);
         }
         iq.resize(keep);
     }
-    std::sort(ready.begin(), ready.end(),
-              [](const SeqRef &x, const SeqRef &y) {
-                  return x.seq < y.seq;
-              });
+    sortBySeq(ready);
 
     unsigned total = 0;
     unsigned alu = 0;
@@ -712,16 +937,17 @@ Core::issueStage()
     for (const SeqRef &c : ready) {
         if (total >= params_.issueWidth)
             break;
-        RobEntry &e = robs_[c.tid].at(c.slot);
+        Rob &rob = robs_[c.tid];
+        RobHot &h = rob.hot(c.slot);
         // Re-validate: the IQ list may briefly hold two refs to the
         // same entry (a replay re-append while issue was blocked), and
         // the first of the pair has issued it by the time the second
         // comes around.
-        if (!e.valid || e.seq != c.seq ||
-            e.state != EntryState::Dispatched) {
+        if (!h.valid || h.seq != c.seq ||
+            h.state != EntryState::Dispatched) {
             continue;
         }
-        switch (isa::classOf(e.inst.op)) {
+        switch (isa::classOf(rob.cold(c.slot).inst.op)) {
           case isa::OpClass::IntMul:
             if (mul >= params_.numMul)
                 continue;
@@ -739,9 +965,10 @@ Core::issueStage()
             ++alu;
             break;
         }
-        executeAtIssue(e);
-        e.state = EntryState::Issued;
-        issuedLists_[c.tid].push_back(c);
+        executeAtIssue(c.tid, c.slot);
+        h.state = EntryState::Issued;
+        pushRef(issuedLists_[c.tid], EntryState::Issued,
+                {h.finishCycle, c.seq, c.tid, c.slot});
         --iqCount_; // issued instructions vacate the scheduler
         ++total;
         ++stats_.issued;
@@ -791,21 +1018,22 @@ Core::dispatchStage()
                 break;
 
             unsigned slot = rob.allocate();
-            RobEntry &e = rob.at(slot);
+            RobHot &h = rob.hot(slot);
+            RobCold &e = rob.cold(slot);
             e.tid = tid;
-            e.seq = nextSeq_++;
+            h.seq = nextSeq_++;
             e.pc = f.pc;
             e.inst = f.inst;
             e.predTaken = f.predTaken;
             e.usedTaken = f.predTaken;
-            e.isLoad = isa::isLoad(f.inst.op);
-            e.isStore = isa::isStore(f.inst.op);
+            h.isLoad = isa::isLoad(f.inst.op);
+            h.isStore = isa::isStore(f.inst.op);
 
             RenameMap &map = renames_[tid];
             if (f.inst.readsRs1())
-                e.src1Preg = map.spec(f.inst.rs1);
+                h.src1Preg = map.spec(f.inst.rs1);
             if (f.inst.readsRs2())
-                e.src2Preg = map.spec(f.inst.rs2);
+                h.src2Preg = map.spec(f.inst.rs2);
             if (writes) {
                 e.destPreg = dest;
                 e.oldPreg = map.rename(f.inst.rd, dest);
@@ -813,20 +1041,21 @@ Core::dispatchStage()
 
             if (needs_iq) {
                 ++iqCount_;
-                iqLists_[tid].push_back({e.seq, tid, slot});
+                pushRef(iqLists_[tid], EntryState::Dispatched,
+                        {h.seq, tid, slot});
             } else {
-                e.state = EntryState::Completed;
+                h.state = EntryState::Completed;
                 e.completedOnce = true;
             }
             if (is_mem) {
                 ++lsqCounts_[tid];
-                if (e.isStore)
+                if (h.isStore)
                     ts.storeList.push_back(slot);
             }
 
-            if (e.isLoad)
+            if (h.isLoad)
                 ++stats_.loads;
-            if (e.isStore)
+            if (h.isStore)
                 ++stats_.stores;
             if (isa::isBranch(f.inst.op))
                 ++stats_.branches;
@@ -925,27 +1154,31 @@ void
 Core::triggerReplay(unsigned tid)
 {
     ThreadState &ts = threads_[tid];
+    Rob &rob = robs_[tid];
     if (ts.delayBuffer.empty())
         return;
     ++stats_.replayTriggers;
 
-    for (unsigned slot : ts.delayBuffer) {
-        RobEntry &e = robs_[tid].at(slot);
-        if (!e.valid || e.state != EntryState::Completed ||
+    for (u32 i = 0; i < ts.delayBuffer.size(); ++i) {
+        const unsigned slot = ts.delayBuffer[i];
+        RobHot &h = rob.hot(slot);
+        RobCold &e = rob.cold(slot);
+        if (!h.valid || h.state != EntryState::Completed ||
             !e.inDelayBuffer) {
             continue;
         }
         // Re-acquire a scheduler slot for the re-execution (the
         // window may transiently exceed iqSize; dispatch stalls until
         // it drains, which is the replay's back-pressure).
-        e.state = EntryState::Dispatched;
+        h.state = EntryState::Dispatched;
         ++iqCount_;
-        iqLists_[tid].push_back({e.seq, tid, slot});
+        pushRef(iqLists_[tid], EntryState::Dispatched,
+                {h.seq, tid, slot});
         e.inReplay = true;
         e.inDelayBuffer = false;
         if (e.destPreg != invalidPreg)
             regfile_.markNotReady(e.destPreg);
-        if (e.isLoad || e.isStore) {
+        if (h.isLoad || h.isStore) {
             e.addrValid = false;
             e.dataValid = false;
         }
@@ -955,7 +1188,7 @@ Core::triggerReplay(unsigned tid)
 }
 
 void
-Core::undoRenameOf(RobEntry &entry, unsigned tid)
+Core::undoRenameOf(RobCold &entry, unsigned tid)
 {
     if (entry.destPreg != invalidPreg) {
         renames_[tid].restore(entry.inst.rd, entry.oldPreg);
@@ -964,10 +1197,26 @@ Core::undoRenameOf(RobEntry &entry, unsigned tid)
 }
 
 void
-Core::purgeFromQueues(ThreadState &ts, unsigned slot)
+Core::purgeFromQueues(ThreadState &ts, const RobHot &h, RobCold &e,
+                      unsigned slot)
 {
-    std::erase(ts.delayBuffer, slot);
-    std::erase(ts.storeList, slot);
+    // inDelayBuffer and isStore are exact residency invariants (the
+    // ring insert/remove sites all maintain them), so entries outside
+    // a queue skip its compaction scan entirely. The departing store
+    // is the oldest at commit (front) and the youngest in a squash
+    // walk-back (back); eraseValue stays as the general fallback.
+    if (e.inDelayBuffer) {
+        ts.delayBuffer.eraseValue(slot);
+        e.inDelayBuffer = false;
+    }
+    if (h.isStore && !ts.storeList.empty()) {
+        if (ts.storeList.front() == slot)
+            ts.storeList.pop_front();
+        else if (ts.storeList.back() == slot)
+            ts.storeList.pop_back();
+        else
+            ts.storeList.eraseValue(slot);
+    }
 }
 
 void
@@ -976,15 +1225,15 @@ Core::squashYounger(unsigned tid, SeqNum seq)
     Rob &rob = robs_[tid];
     while (!rob.empty()) {
         unsigned slot = rob.tailSlot();
-        RobEntry &e = rob.at(slot);
-        if (e.seq <= seq)
+        RobHot &h = rob.hot(slot);
+        if (h.seq <= seq)
             break;
-        undoRenameOf(e, tid);
-        if (occupiesIq(e))
+        undoRenameOf(rob.cold(slot), tid);
+        if (occupiesIq(h))
             --iqCount_;
-        if (e.isLoad || e.isStore)
+        if (h.isLoad || h.isStore)
             --lsqCounts_[tid];
-        purgeFromQueues(threads_[tid], slot);
+        purgeFromQueues(threads_[tid], h, rob.cold(slot), slot);
         rob.popTail();
         ++stats_.mispredictSquashed;
     }
@@ -997,12 +1246,13 @@ Core::squashAllOf(unsigned tid)
     Rob &rob = robs_[tid];
     while (!rob.empty()) {
         unsigned slot = rob.tailSlot();
-        RobEntry &e = rob.at(slot);
+        const RobHot &h = rob.hot(slot);
+        const RobCold &e = rob.cold(slot);
         if (e.destPreg != invalidPreg)
             regfile_.release(e.destPreg);
-        if (occupiesIq(e))
+        if (occupiesIq(h))
             --iqCount_;
-        if (e.isLoad || e.isStore)
+        if (h.isLoad || h.isStore)
             --lsqCounts_[tid];
         rob.popTail();
     }
@@ -1024,10 +1274,10 @@ Core::faultRollback(unsigned tid)
     u64 exempt = 0;
     Rob &rob = robs_[tid];
     for (unsigned i = 0; i < rob.size(); ++i) {
-        const RobEntry &e = rob.at(rob.slotAt(i));
-        if (e.isLoad)
+        const RobHot &h = rob.hot(rob.slotAt(i));
+        if (h.isLoad)
             exempt += 1;
-        else if (e.isStore)
+        else if (h.isStore)
             exempt += 2;
     }
 
@@ -1046,9 +1296,11 @@ Core::faultRollback(unsigned tid)
         }
         const Rob &other = robs_[t];
         for (unsigned i = 0; i < other.size(); ++i) {
-            const RobEntry &e = other.at(other.slotAt(i));
-            if (!e.valid)
+            const unsigned slot = other.slotAt(i);
+            const RobHot &h = other.hot(slot);
+            if (!h.valid)
                 continue;
+            const RobCold &e = other.cold(slot);
             if (e.destPreg != invalidPreg)
                 live[e.destPreg] = true;
             if (e.oldPreg != invalidPreg)
@@ -1098,10 +1350,12 @@ Core::inflightDestPregs() const
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         const Rob &rob = robs_[tid];
         for (unsigned i = 0; i < rob.size(); ++i) {
-            const RobEntry &e = rob.at(rob.slotAt(i));
-            if (e.valid && e.destPreg != invalidPreg &&
-                e.state == EntryState::Completed &&
-                e.finishCycle + window >= cycle_) {
+            const unsigned slot = rob.slotAt(i);
+            const RobHot &h = rob.hot(slot);
+            const RobCold &e = rob.cold(slot);
+            if (h.valid && e.destPreg != invalidPreg &&
+                h.state == EntryState::Completed &&
+                h.finishCycle + window >= cycle_) {
                 pregs.push_back(e.destPreg);
             }
         }
@@ -1117,9 +1371,10 @@ Core::pregPhase(unsigned preg) const
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         const Rob &rob = robs_[tid];
         for (unsigned i = 0; i < rob.size(); ++i) {
-            const RobEntry &e = rob.at(rob.slotAt(i));
-            if (e.valid && e.destPreg == preg) {
-                return e.state == EntryState::Completed
+            const unsigned slot = rob.slotAt(i);
+            const RobHot &h = rob.hot(slot);
+            if (h.valid && rob.cold(slot).destPreg == preg) {
+                return h.state == EntryState::Completed
                            ? PregPhase::Completed
                            : PregPhase::InFlight;
             }
@@ -1141,9 +1396,12 @@ Core::lsqOccupied() const
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         const Rob &rob = robs_[tid];
         for (unsigned i = 0; i < rob.size(); ++i) {
-            const RobEntry &e = rob.at(rob.slotAt(i));
-            if (e.valid && (e.isLoad || e.isStore) && e.addrValid)
+            const unsigned slot = rob.slotAt(i);
+            const RobHot &h = rob.hot(slot);
+            if (h.valid && (h.isLoad || h.isStore) &&
+                rob.cold(slot).addrValid) {
                 ++n;
+            }
         }
     }
     return n;
@@ -1157,11 +1415,13 @@ Core::injectLsqBit(unsigned nth, bool addr_field, unsigned bit)
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         Rob &rob = robs_[tid];
         for (unsigned i = 0; i < rob.size(); ++i) {
-            RobEntry &e = rob.at(rob.slotAt(i));
-            if (!e.valid || !(e.isLoad || e.isStore) || !e.addrValid)
+            const unsigned slot = rob.slotAt(i);
+            const RobHot &h = rob.hot(slot);
+            RobCold &e = rob.cold(slot);
+            if (!h.valid || !(h.isLoad || h.isStore) || !e.addrValid)
                 continue;
             if (n++ == nth) {
-                if (addr_field || e.isLoad)
+                if (addr_field || h.isLoad)
                     e.effAddr ^= 1ULL << bit;
                 else
                     e.storeData ^= 1ULL << bit;

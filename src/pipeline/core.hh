@@ -8,13 +8,16 @@
  * The core is a plain copyable value: the tandem fault framework forks
  * it (together with its memory, caches, filters and RNG-free state) at
  * an injection point and runs golden and faulty copies side by side.
+ * All per-cycle-touched pipeline state lives in one flat arena
+ * (pipeline/arena.hh), so that fork — and the campaign's in-place
+ * trial-slot restore via copy-assignment — is a single-block memcpy
+ * plus a handful of flat-vector copies, with no per-fork allocation.
  */
 
 #ifndef FH_PIPELINE_CORE_HH
 #define FH_PIPELINE_CORE_HH
 
 #include <array>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +26,7 @@
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
+#include "pipeline/arena.hh"
 #include "pipeline/branch_predictor.hh"
 #include "pipeline/params.hh"
 #include "pipeline/regfile.hh"
@@ -139,6 +143,15 @@ class Core
 {
   public:
     Core(const CoreParams &params, const isa::Program *prog);
+
+    // Copying rebinds every arena view onto the copy's own buffer;
+    // copy-assignment between same-parameter cores reuses the target's
+    // buffers (pure memcpy, no allocation) — the campaign's trial
+    // slots and per-worker fork scratch machines depend on that.
+    Core(const Core &other);
+    Core &operator=(const Core &other);
+    Core(Core &&other) = default;
+    Core &operator=(Core &&other) = default;
 
     /** Advance one cycle. */
     void tick();
@@ -287,18 +300,41 @@ class Core
         u64 fetchPc = 0;
         Cycle fetchStallUntil = 0;
         bool fetchBlocked = false; ///< fetched Halt or ran off text
-        std::deque<FetchedInst> fetchQ;
         bool halted = false;
         isa::Trap trap = isa::Trap::None;
         u64 nextCommitPc = 0;
         u64 committed = 0;
         u64 exemptChecks = 0; ///< post-rollback "deemed final" budget
-        std::deque<unsigned> delayBuffer; ///< rob slots, oldest first
-        std::deque<unsigned> storeList;   ///< in-flight store slots
+        RingView<FetchedInst> fetchQ;
+        RingView<u32> delayBuffer; ///< rob slots, oldest first
+        RingView<u32> storeList;   ///< in-flight store slots
         ThreadOptions opts;
         isa::ArchState oracle; ///< fetch-time oracle (oracleFetch)
+    };
 
-        bool operator==(const ThreadState &other) const = default;
+    /** One age-ordered scan element of the issue/complete stages. */
+    struct SeqRef
+    {
+        SeqNum seq;
+        u32 tid;
+        u32 slot;
+    };
+
+    /**
+     * Issued-list element: a SeqRef plus the finish time recorded at
+     * issue. The complete scan compares the local key first and only
+     * touches the ROB header once the key is due, so in-flight
+     * long-latency entries cost one word read per cycle instead of a
+     * header load. The key never exceeds the entry's live finishCycle
+     * (equal at push; deferral only pushes the live value later), so
+     * "key in the future" proves "not completing this cycle".
+     */
+    struct FinishRef
+    {
+        Cycle finish;
+        SeqNum seq;
+        u32 tid;
+        u32 slot;
     };
 
     // Pipeline stages, called newest-to-oldest each tick.
@@ -310,7 +346,7 @@ class Core
 
     /** Try to commit the head of one thread; true if it retired. */
     bool tryCommitHead(unsigned tid);
-    void executeAtIssue(RobEntry &entry);
+    void executeAtIssue(unsigned tid, unsigned slot);
     void completeEntry(unsigned tid, unsigned slot);
     void resolveBranch(unsigned tid, unsigned slot);
     void runCompleteChecks(unsigned tid, unsigned slot);
@@ -319,12 +355,29 @@ class Core
     void faultRollback(unsigned tid);
     void squashYounger(unsigned tid, SeqNum seq);
     void squashAllOf(unsigned tid);
-    void undoRenameOf(RobEntry &entry, unsigned tid);
-    void purgeFromQueues(ThreadState &ts, unsigned slot);
+    void undoRenameOf(RobCold &entry, unsigned tid);
+    void purgeFromQueues(ThreadState &ts, const RobHot &h, RobCold &e,
+                         unsigned slot);
     void redirectFetch(unsigned tid, u64 pc);
 
     /** True if the entry holds an issue-queue slot. */
-    static bool occupiesIq(const RobEntry &entry);
+    static bool occupiesIq(const RobHot &h);
+
+    /** Append to a scan list, compacting stale refs on overflow with
+     *  the same predicate the per-cycle scans apply (so the overflow
+     *  path is behavior-invisible). */
+    void pushRef(RefList<SeqRef> &list, EntryState want,
+                 const SeqRef &ref);
+    void pushRef(RefList<FinishRef> &list, EntryState want,
+                 const FinishRef &ref);
+
+    /** Stable age-order sort of a scan batch. Seq keys are unique, so
+     *  any comparison sort yields the identical order; insertion sort
+     *  wins on these small, mostly-sorted batches. */
+    static void sortBySeq(std::vector<SeqRef> &v);
+
+    /** Fix every arena view pointer after a member-wise copy. */
+    void rebindViews(const Core &other);
 
     /**
      * Memory-ordering check for a load about to issue at addr: blocked
@@ -332,8 +385,7 @@ class Core
      * the same address has not yet captured its data.
      */
     bool loadBlocked(unsigned tid, SeqNum seq, Addr addr) const;
-    u64 loadValueFor(const RobEntry &entry, unsigned tid) const;
-    void freeIqSlotsOfStaleEntries(unsigned tid);
+    u64 loadValueFor(unsigned tid, SeqNum seq, Addr addr) const;
     bool fetchOne(unsigned tid);
 
     CoreParams params_;
@@ -344,7 +396,6 @@ class Core
 
     mem::Memory memory_;
     mem::Hierarchy hier_;
-    PhysRegFile regfile_;
     BranchPredictor predictor_;
     filters::Detector detector_;
     bool detectorEnabled_ = true;
@@ -352,6 +403,12 @@ class Core
     bool quiesceFrozen_ = false;
     CommitObserver *observer_ = nullptr;
 
+    /** Flat backing for all per-cycle pipeline state; every view
+     *  below points into it. Declared before the views so copies have
+     *  the buffer ready when views rebind. */
+    CoreArena arena_;
+
+    PhysRegFile regfile_;
     std::vector<RenameMap> renames_;
     std::vector<Rob> robs_;
     std::vector<ThreadState> threads_;
@@ -359,13 +416,6 @@ class Core
     unsigned iqCount_ = 0;
     std::vector<unsigned> lsqCounts_; ///< per-context LSQ partitions
 
-    /** One age-ordered scan element of the issue/complete stages. */
-    struct SeqRef
-    {
-        SeqNum seq;
-        unsigned tid;
-        unsigned slot;
-    };
     /** Scratch for the per-cycle ROB scans; kept as a member so its
      *  capacity survives across ticks instead of being reallocated
      *  every cycle. Always empty outside a stage. */
@@ -381,8 +431,8 @@ class Core
      * ROB walk used to find. Part of the machine snapshot: forks
      * resume with the lists their master had.
      */
-    std::vector<std::vector<SeqRef>> iqLists_;
-    std::vector<std::vector<SeqRef>> issuedLists_;
+    std::vector<RefList<SeqRef>> iqLists_;
+    std::vector<RefList<FinishRef>> issuedLists_;
     unsigned fetchRotate_ = 0;
     Cycle issueBlockedUntil_ = 0;
 

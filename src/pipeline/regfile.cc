@@ -1,26 +1,72 @@
 #include "pipeline/regfile.hh"
 
+#include <cstdint>
+
 #include "sim/logging.hh"
 
 namespace fh::pipeline
 {
 
 PhysRegFile::PhysRegFile(unsigned num_regs)
-    : values_(num_regs, 0), ready_(num_regs, 1), free_(num_regs, 1)
 {
-    freeList_.reserve(num_regs);
-    // Pop order is descending index; purely cosmetic.
-    for (unsigned i = 0; i < num_regs; ++i)
-        freeList_.push_back(i);
+    own_.resize(num_regs * (sizeof(u64) + sizeof(u32) + 2) +
+                alignof(u64));
+    const auto base = reinterpret_cast<std::uintptr_t>(own_.data());
+    const std::uintptr_t aligned =
+        (base + alignof(u64) - 1) & ~(alignof(u64) - 1);
+    auto *values = reinterpret_cast<u64 *>(aligned);
+    auto *stack = reinterpret_cast<u32 *>(values + num_regs);
+    auto *ready = reinterpret_cast<u8 *>(stack + num_regs);
+    auto *free_flags = ready + num_regs;
+    bind(values, ready, free_flags, stack, num_regs);
+    reset();
+}
+
+PhysRegFile &
+PhysRegFile::operator=(const PhysRegFile &other)
+{
+    if (this == &other)
+        return *this;
+    numRegs_ = other.numRegs_;
+    freeCount_ = other.freeCount_;
+    if (other.own_.empty()) {
+        // Arena mode: adopt the source pointers; the owning Core
+        // shifts them onto its own arena right after the member copy.
+        values_ = other.values_;
+        ready_ = other.ready_;
+        free_ = other.free_;
+        freeStack_ = other.freeStack_;
+        own_.clear();
+        return *this;
+    }
+    own_ = other.own_;
+    const std::ptrdiff_t delta = own_.data() - other.own_.data();
+    values_ = shiftPtr(other.values_, delta);
+    ready_ = shiftPtr(other.ready_, delta);
+    free_ = shiftPtr(other.free_, delta);
+    freeStack_ = shiftPtr(other.freeStack_, delta);
+    return *this;
+}
+
+void
+PhysRegFile::reset()
+{
+    for (unsigned i = 0; i < numRegs_; ++i) {
+        values_[i] = 0;
+        ready_[i] = 1;
+        free_[i] = 1;
+        // Pop order is descending index; purely cosmetic.
+        freeStack_[i] = i;
+    }
+    freeCount_ = numRegs_;
 }
 
 bool
 PhysRegFile::allocate(unsigned &preg)
 {
-    if (freeList_.empty())
+    if (freeCount_ == 0)
         return false;
-    preg = freeList_.back();
-    freeList_.pop_back();
+    preg = freeStack_[--freeCount_];
     fh_assert(free_[preg], "allocating a non-free register");
     free_[preg] = 0;
     ready_[preg] = 0;
@@ -30,13 +76,13 @@ PhysRegFile::allocate(unsigned &preg)
 void
 PhysRegFile::resetFreeList(const std::vector<bool> &live)
 {
-    fh_assert(live.size() == values_.size(), "liveness size mismatch");
-    freeList_.clear();
-    for (unsigned preg = 0; preg < values_.size(); ++preg) {
+    fh_assert(live.size() == numRegs_, "liveness size mismatch");
+    freeCount_ = 0;
+    for (unsigned preg = 0; preg < numRegs_; ++preg) {
         free_[preg] = live[preg] ? 0 : 1;
         if (!live[preg]) {
             ready_[preg] = 1;
-            freeList_.push_back(preg);
+            freeStack_[freeCount_++] = preg;
         }
     }
 }
@@ -44,7 +90,7 @@ PhysRegFile::resetFreeList(const std::vector<bool> &live)
 void
 PhysRegFile::release(unsigned preg)
 {
-    fh_assert(preg < free_.size(), "release out of range");
+    fh_assert(preg < numRegs_, "release out of range");
     if (free_[preg]) {
         // Releasing an already-free register: this only happens when a
         // corrupted rename tag frees the wrong register (Section 5.5);
@@ -56,7 +102,7 @@ PhysRegFile::release(unsigned preg)
     }
     free_[preg] = 1;
     ready_[preg] = 1;
-    freeList_.push_back(preg);
+    freeStack_[freeCount_++] = preg;
 }
 
 } // namespace fh::pipeline

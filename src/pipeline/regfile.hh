@@ -4,6 +4,13 @@
  * The fault framework injects single-bit flips directly into register
  * values; the paper uses register-file injections to emulate back-end
  * control and datapath faults generally (Section 4).
+ *
+ * Storage is four flat arrays (values / ready / free / free-stack) —
+ * structure-of-arrays so the issue stage's wakeup checks stream the
+ * one-byte ready bits without dragging values through the cache. The
+ * arrays normally live in the owning core's arena (bind());
+ * standalone construction with a register count allocates private
+ * backing for the unit tests.
  */
 
 #ifndef FH_PIPELINE_REGFILE_HH
@@ -11,6 +18,7 @@
 
 #include <vector>
 
+#include "pipeline/arena.hh"
 #include "sim/types.hh"
 
 namespace fh::pipeline
@@ -19,9 +27,40 @@ namespace fh::pipeline
 class PhysRegFile
 {
   public:
-    explicit PhysRegFile(unsigned num_regs = 288);
+    PhysRegFile() = default;
 
-    unsigned size() const { return static_cast<unsigned>(values_.size()); }
+    /** Standalone mode: allocate private backing for num_regs. */
+    explicit PhysRegFile(unsigned num_regs);
+
+    PhysRegFile(const PhysRegFile &other) { *this = other; }
+    PhysRegFile &operator=(const PhysRegFile &other);
+    PhysRegFile(PhysRegFile &&other) = default;
+    PhysRegFile &operator=(PhysRegFile &&other) = default;
+
+    /** Arena mode: adopt externally-laid-out arrays (no init). */
+    void bind(u64 *values, u8 *ready, u8 *free_flags, u32 *free_stack,
+              unsigned num_regs)
+    {
+        values_ = values;
+        ready_ = ready;
+        free_ = free_flags;
+        freeStack_ = free_stack;
+        numRegs_ = num_regs;
+    }
+
+    /** Initial state: all registers zero, ready, and free. */
+    void reset();
+
+    /** Pointer fixup after a member-wise arena copy. */
+    void shiftBase(std::ptrdiff_t delta)
+    {
+        values_ = shiftPtr(values_, delta);
+        ready_ = shiftPtr(ready_, delta);
+        free_ = shiftPtr(free_, delta);
+        freeStack_ = shiftPtr(freeStack_, delta);
+    }
+
+    unsigned size() const { return numRegs_; }
 
     u64 read(unsigned preg) const { return values_[preg]; }
     bool ready(unsigned preg) const { return ready_[preg] != 0; }
@@ -40,10 +79,7 @@ class PhysRegFile
     /** Return a register to the free list. */
     void release(unsigned preg);
     bool isFree(unsigned preg) const { return free_[preg] != 0; }
-    unsigned freeCount() const
-    {
-        return static_cast<unsigned>(freeList_.size());
-    }
+    unsigned freeCount() const { return freeCount_; }
 
     /** Flip one bit of one register (fault injection). */
     void flipBit(unsigned preg, unsigned bit)
@@ -59,13 +95,14 @@ class PhysRegFile
      */
     void resetFreeList(const std::vector<bool> &live);
 
-    bool operator==(const PhysRegFile &other) const = default;
-
   private:
-    std::vector<u64> values_;
-    std::vector<u8> ready_;
-    std::vector<u8> free_;
-    std::vector<unsigned> freeList_;
+    u64 *values_ = nullptr;
+    u8 *ready_ = nullptr;
+    u8 *free_ = nullptr;
+    u32 *freeStack_ = nullptr; ///< LIFO of free pregs; freeCount_ deep
+    unsigned numRegs_ = 0;
+    unsigned freeCount_ = 0;
+    std::vector<std::byte> own_; ///< standalone-mode backing (else empty)
 };
 
 } // namespace fh::pipeline

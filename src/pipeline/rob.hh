@@ -1,9 +1,16 @@
 /**
  * @file
  * Re-order buffer. One Rob instance per SMT context (the shared ROB of
- * Table 2 is partitioned evenly). Entries carry everything the stages
- * need — issue-queue residency, LSQ fields, replay marks — so that the
- * whole core state remains a plain copyable value for tandem forking.
+ * Table 2 is partitioned evenly). Entries are split structure-of-arrays
+ * style into a 32-byte hot header — everything the per-cycle issue and
+ * complete scans read while rejecting a slot — and a cold remainder
+ * touched only once a slot is actually dispatched, executed or
+ * committed, so a scan sweeps four slots per pair of cache lines
+ * instead of spanning lines entry by entry.
+ *
+ * Both arrays normally live in the owning core's arena (bind());
+ * standalone construction with a capacity allocates private backing so
+ * unit tests can exercise the circular mechanics directly.
  */
 
 #ifndef FH_PIPELINE_ROB_HH
@@ -13,6 +20,7 @@
 
 #include "isa/functional.hh"
 #include "isa/instruction.hh"
+#include "pipeline/arena.hh"
 #include "sim/types.hh"
 
 namespace fh::pipeline
@@ -28,22 +36,29 @@ enum class EntryState : u8
 
 constexpr unsigned invalidPreg = ~0u;
 
-/** One in-flight instruction. */
-struct RobEntry
+/**
+ * Scan-hot fields of one in-flight instruction: validity, lifecycle
+ * state, the memory-op bits, the source tags the wakeup check reads,
+ * the age key, and the completion time. Exactly 32 bytes.
+ */
+struct RobHot
 {
-    // Hot header: everything the per-cycle issue/complete scans read
-    // while rejecting a slot, packed at the front so a scanned entry
-    // usually costs a single cache-line fill.
     bool valid = false;
     EntryState state = EntryState::Dispatched;
     bool isLoad = false;
     bool isStore = false;
-    unsigned tid = 0;
+    u32 src1Preg = invalidPreg;
+    u32 src2Preg = invalidPreg;
     SeqNum seq = 0;
     Cycle finishCycle = 0;
-    unsigned src1Preg = invalidPreg;
-    unsigned src2Preg = invalidPreg;
+};
 
+static_assert(sizeof(RobHot) == 32, "hot header must stay one half-line");
+
+/** Everything else about one in-flight instruction. */
+struct RobCold
+{
+    unsigned tid = 0;
     u64 pc = 0;
     isa::Instruction inst;
 
@@ -63,8 +78,8 @@ struct RobEntry
     bool completedOnce = false; ///< completed at least one execution
 
     // Memory fields (double as the LSQ entry; isLoad/isStore live in
-    // the hot header above). Stores issue when the address operand is
-    // ready (split store-address/store-data): the data is captured at
+    // the hot header). Stores issue when the address operand is ready
+    // (split store-address/store-data): the data is captured at
     // completion, which defers until it is ready.
     bool addrValid = false;
     bool dataValid = false; ///< store data captured
@@ -80,38 +95,56 @@ struct RobEntry
     bool resolvedOnce = false;
 
     isa::Trap trap = isa::Trap::None;
-
-    bool operator==(const RobEntry &other) const = default;
 };
 
-/** Circular per-thread ROB partition. */
+/** Circular per-thread ROB partition (a view; see file comment). */
 class Rob
 {
   public:
-    explicit Rob(unsigned capacity = 125);
+    Rob() = default;
 
-    bool full() const { return count_ == entries_.size(); }
+    /** Standalone mode: allocate private backing for capacity slots. */
+    explicit Rob(unsigned capacity);
+
+    Rob(const Rob &other) { *this = other; }
+    Rob &operator=(const Rob &other);
+    Rob(Rob &&other) = default;
+    Rob &operator=(Rob &&other) = default;
+
+    /** Arena mode: adopt externally-laid-out arrays (no init). */
+    void bind(RobHot *hot, RobCold *cold, unsigned capacity)
+    {
+        hot_ = hot;
+        cold_ = cold;
+        cap_ = capacity;
+    }
+
+    /** Value-initialize every slot and empty the window. */
+    void reset();
+
+    /** Pointer fixup after a member-wise arena copy. */
+    void shiftBase(std::ptrdiff_t delta)
+    {
+        hot_ = shiftPtr(hot_, delta);
+        cold_ = shiftPtr(cold_, delta);
+    }
+
+    bool full() const { return count_ == cap_; }
     bool empty() const { return count_ == 0; }
     unsigned size() const { return count_; }
-    unsigned capacity() const
-    {
-        return static_cast<unsigned>(entries_.size());
-    }
+    unsigned capacity() const { return cap_; }
 
     /** Allocate the next entry (must not be full); returns its slot. */
     unsigned allocate();
 
     /** Slot index of the i-th oldest valid entry. */
-    unsigned slotAt(unsigned i) const
-    {
-        return (head_ + i) % static_cast<unsigned>(entries_.size());
-    }
+    unsigned slotAt(unsigned i) const { return (head_ + i) % cap_; }
 
     unsigned headSlot() const { return head_; }
-    RobEntry &at(unsigned slot) { return entries_[slot]; }
-    const RobEntry &at(unsigned slot) const { return entries_[slot]; }
-    RobEntry &head() { return entries_[head_]; }
-    const RobEntry &head() const { return entries_[head_]; }
+    RobHot &hot(unsigned slot) { return hot_[slot]; }
+    const RobHot &hot(unsigned slot) const { return hot_[slot]; }
+    RobCold &cold(unsigned slot) { return cold_[slot]; }
+    const RobCold &cold(unsigned slot) const { return cold_[slot]; }
 
     /** Retire the head entry. */
     void popHead();
@@ -120,19 +153,17 @@ class Rob
     void popTail();
 
     /** The youngest valid entry's slot (rob must be non-empty). */
-    unsigned tailSlot() const
-    {
-        return slotAt(count_ - 1);
-    }
+    unsigned tailSlot() const { return slotAt(count_ - 1); }
 
     void clear();
 
-    bool operator==(const Rob &other) const = default;
-
   private:
-    std::vector<RobEntry> entries_;
+    RobHot *hot_ = nullptr;
+    RobCold *cold_ = nullptr;
+    unsigned cap_ = 0;
     unsigned head_ = 0;
     unsigned count_ = 0;
+    std::vector<std::byte> own_; ///< standalone-mode backing (else empty)
 };
 
 } // namespace fh::pipeline

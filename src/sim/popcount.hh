@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Portable population count. std::popcount lowers to a libgcc call on
+ * baseline x86-64 unless the whole build carries -mpopcnt; the
+ * compiler builtin picks the best available lowering per target
+ * without an ISA-gating compile flag, so the build stays portable and
+ * the filter kernels stay fast. The SWAR fallback keeps non-GNU
+ * compilers working (identical results, a few ops slower).
+ */
+
+#ifndef FH_SIM_POPCOUNT_HH
+#define FH_SIM_POPCOUNT_HH
+
+#include "sim/types.hh"
+
+namespace fh
+{
+
+constexpr unsigned
+popcount64(u64 x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_popcountll(x));
+#else
+    // Classic SWAR reduction (Hacker's Delight, fig. 5-2).
+    x -= (x >> 1) & 0x5555555555555555ULL;
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    return static_cast<unsigned>((x * 0x0101010101010101ULL) >> 56);
+#endif
+}
+
+} // namespace fh
+
+#endif // FH_SIM_POPCOUNT_HH

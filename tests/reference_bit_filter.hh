@@ -12,9 +12,9 @@
 
 #include <algorithm>
 #include <array>
-#include <bit>
 
 #include "filters/bit_filter.hh"
+#include "sim/popcount.hh"
 #include "sim/types.hh"
 
 namespace fh::filters
@@ -43,7 +43,7 @@ class ReferenceBitFilter
 
     unsigned mismatchCount(u64 value) const
     {
-        return static_cast<unsigned>(std::popcount(mismatchMask(value)));
+        return popcount64(mismatchMask(value));
     }
 
     u64 observe(u64 value)

@@ -10,6 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "exec/thread_pool.hh"
+#include "fault/injector.hh"
+#include "fault/tandem.hh"
 #include "isa/functional.hh"
 #include "pipeline/core.hh"
 #include "sim/rng.hh"
@@ -195,4 +200,132 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
                                     std::to_string(i.param.seed) + "_" +
                                     std::to_string(static_cast<int>(
                                         i.param.scheme));
+                         });
+
+namespace
+{
+
+/** Every observable a fork-based classification reads. */
+void
+expectSameOutcome(const fault::ForkOutcome &a, const fault::ForkOutcome &b,
+                  u64 trial, const char *flavor)
+{
+    EXPECT_EQ(a.reachedTargets, b.reachedTargets)
+        << flavor << " trial " << trial;
+    EXPECT_EQ(a.trapped, b.trapped) << flavor << " trial " << trial;
+    EXPECT_EQ(a.core.cycle(), b.core.cycle())
+        << flavor << " trial " << trial;
+    for (unsigned tid = 0; tid < a.core.numThreads(); ++tid)
+        EXPECT_EQ(a.core.committed(tid), b.core.committed(tid))
+            << flavor << " trial " << trial << " tid " << tid;
+    EXPECT_TRUE(fault::archEquals(a.core, b.core))
+        << flavor << " trial " << trial;
+}
+
+class ForkEquivalence : public testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+/**
+ * The campaign's scratch-fork reuse (runForkInto restoring into a
+ * warm machine via flat-arena copy assignment, or swapping buffers
+ * for the trial's last fork) must be indistinguishable from the
+ * from-scratch copy constructor it replaced. Fuzz it over randomized
+ * injection windows: a fresh runFork and a reused-scratch runForkInto
+ * of the same snapshot must agree on every observable a classifier
+ * reads. Parameterized over pool width so the per-worker scratch path
+ * is exercised both single-threaded and with 4 workers racing.
+ */
+TEST_P(ForkEquivalence, ScratchForkMatchesFreshFork)
+{
+    const unsigned nthreads = GetParam();
+    Program prog = randomProgram(11, 100'000);
+
+    pipeline::CoreParams params;
+    params.detector = filters::DetectorParams::faultHound();
+    pipeline::Core master(params, &prog);
+    while (master.committedTotal() < 3000 && !master.allHalted())
+        master.tick();
+    ASSERT_FALSE(master.allHalted());
+
+    // Produce snapshots serially (randomized gaps and plans), then
+    // fork them on the pool with per-worker scratch — the campaign's
+    // exact memory-reuse pattern.
+    struct Snap
+    {
+        pipeline::Core core;
+        fault::InjectionPlan plan;
+        std::vector<u64> targets;
+    };
+    constexpr u64 kTrials = 12;
+    constexpr Cycle kMaxCycles = 200'000;
+    constexpr u64 kWindow = 150;
+    Rng rng(17);
+    fault::InjectionMix mix;
+    std::vector<Snap> snaps;
+    snaps.reserve(kTrials);
+    for (u64 t = 0; t < kTrials && !master.allHalted(); ++t) {
+        const Cycle gap = rng.range(40, 160);
+        for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
+            master.tick();
+        if (master.allHalted())
+            break;
+        snaps.push_back({master, fault::drawPlan(master, mix, rng),
+                         fault::windowTargets(master, kWindow)});
+    }
+    ASSERT_GE(snaps.size(), 8u);
+
+    // One scratch pair per worker; reused across this worker's trials
+    // so later restores hit genuinely dirty buffers.
+    struct Scratch
+    {
+        std::optional<fault::ForkOutcome> bare;
+        std::optional<fault::ForkOutcome> prot;
+    };
+    std::vector<Scratch> scratch(nthreads);
+    exec::ThreadPool pool(nthreads);
+    pool.parallelFor(snaps.size(), [&](u64 k) {
+        Scratch &sc = scratch[exec::ThreadPool::currentWorker()];
+        const Snap &s = snaps[k];
+
+        // Bare fork (detector off): fresh copy vs copy-restored scratch.
+        fault::ForkOutcome fresh = fault::runFork(
+            s.core, &s.plan, false, s.targets, kMaxCycles);
+        if (!sc.bare) {
+            sc.bare.emplace(fault::runFork(s.core, &s.plan, false,
+                                           s.targets, kMaxCycles));
+        } else {
+            fault::runForkInto(*sc.bare, s.core, &s.plan, false,
+                               s.targets, kMaxCycles);
+        }
+        expectSameOutcome(fresh, *sc.bare, k, "bare");
+
+        // Protected fork (detector on): fresh copy vs the consuming
+        // swap flavor fed a throwaway copy of the snapshot.
+        fault::ForkOutcome freshProt = fault::runFork(
+            s.core, &s.plan, true, s.targets, kMaxCycles);
+        pipeline::Core doomed(s.core);
+        if (!sc.prot) {
+            sc.prot.emplace(fault::runFork(std::move(doomed), &s.plan,
+                                           true, s.targets, kMaxCycles));
+        } else {
+            fault::runForkInto(*sc.prot, std::move(doomed), &s.plan,
+                               true, s.targets, kMaxCycles);
+        }
+        expectSameOutcome(freshProt, *sc.prot, k, "protected");
+        EXPECT_EQ(freshProt.core.detector().stats().triggers,
+                  sc.prot->core.detector().stats().triggers)
+            << "trial " << k;
+        EXPECT_EQ(freshProt.core.faultDetected(),
+                  sc.prot->core.faultDetected())
+            << "trial " << k;
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolWidths, ForkEquivalence,
+                         testing::Values(1u, 4u),
+                         [](const testing::TestParamInfo<unsigned> &i) {
+                             return "threads" + std::to_string(i.param);
                          });

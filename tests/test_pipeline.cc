@@ -138,11 +138,11 @@ TEST(Rob, CircularAllocateCommitSquash)
     EXPECT_TRUE(rob.empty());
     unsigned s0 = rob.allocate();
     unsigned s1 = rob.allocate();
-    rob.at(s0).seq = 1;
-    rob.at(s1).seq = 2;
+    rob.hot(s0).seq = 1;
+    rob.hot(s1).seq = 2;
     EXPECT_EQ(rob.size(), 2u);
-    EXPECT_EQ(rob.head().seq, 1u);
-    EXPECT_EQ(rob.at(rob.tailSlot()).seq, 2u);
+    EXPECT_EQ(rob.hot(rob.headSlot()).seq, 1u);
+    EXPECT_EQ(rob.hot(rob.tailSlot()).seq, 2u);
     rob.popTail();
     EXPECT_EQ(rob.size(), 1u);
     rob.popHead();
@@ -150,7 +150,7 @@ TEST(Rob, CircularAllocateCommitSquash)
     // Wrap around the circular storage.
     for (int round = 0; round < 10; ++round) {
         unsigned s = rob.allocate();
-        rob.at(s).seq = 100 + round;
+        rob.hot(s).seq = 100 + round;
         rob.popHead();
     }
     EXPECT_TRUE(rob.empty());

@@ -78,10 +78,11 @@ TEST(Recovery, ReplayRepairsFreshProducerCorruption)
         unsigned preg = invalidPreg;
         const auto &rob = s.master.rob(0);
         for (unsigned i = 0; i < rob.size(); ++i) {
-            const auto &e = rob.at(rob.slotAt(i));
-            if (e.valid && e.pc == 1 &&
-                e.state == EntryState::Completed) {
-                preg = e.destPreg;
+            const unsigned slot = rob.slotAt(i);
+            const auto &h = rob.hot(slot);
+            if (h.valid && rob.cold(slot).pc == 1 &&
+                h.state == EntryState::Completed) {
+                preg = rob.cold(slot).destPreg;
             }
         }
         if (preg == invalidPreg)
