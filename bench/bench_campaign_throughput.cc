@@ -20,11 +20,26 @@
  * worker processes on a loopback socket), which both measures dispatch
  * overhead against the in-process rows and asserts the merged
  * classification is bit-identical to the single-thread run.
+ *
+ * FH_BENCH_BASELINE=<binary|mode> turns on interleaved same-window A/B
+ * measurement — the honest way to compare revisions on a noisy shared
+ * container, where back-to-back runs see different neighbors. Each of
+ * FH_BENCH_ROUNDS (default 5) rounds runs the current binary and the
+ * baseline alternately under identical settings (single worker
+ * thread), and the summary reports best-of-rounds for both sides plus
+ * the ratio. The baseline is either a path to an older
+ * bench_campaign_throughput binary (run as a subprocess, throughput
+ * parsed from its FH_JSON), or the literal mode name "scan" for an
+ * in-process FH_SCAN_ISSUE-oracle comparison of the two issue-stage
+ * implementations inside this binary.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "dist/coordinator.hh"
@@ -59,6 +74,88 @@ printPhases(std::FILE *out, const fault::CampaignPhases &p)
                  "bare %.1f%%  protected %.1f%%  compare %.1f%%\n",
                  pct(p.snapshotNs), pct(p.goldenNs), pct(p.bareNs),
                  pct(p.protectedNs), pct(p.compareNs));
+}
+
+void
+printSched(std::FILE *out, const fault::SchedCounters &s)
+{
+    const double occ =
+        s.issueEvals ? static_cast<double>(s.issueCandidates) /
+                           static_cast<double>(s.issueEvals)
+                     : 0.0;
+    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
+    std::fprintf(out,
+                 "  scheduler: %llu wakeup hits, %llu overflow parks, "
+                 "%llu overflow rescans, %llu fast-forwarded cycles, "
+                 "issue occupancy %.2f\n",
+                 u(s.wakeupHits), u(s.overflowParks),
+                 u(s.overflowRescans), u(s.fastForwarded), occ);
+}
+
+void
+writeJsonSched(std::FILE *out, const fault::SchedCounters &s,
+               const char *indent)
+{
+    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
+    std::fprintf(out,
+                 "%s\"scheduler\": { \"wakeup_hits\": %llu, "
+                 "\"overflow_parks\": %llu, \"overflow_rescans\": %llu, "
+                 "\"fast_forwarded_cycles\": %llu, \"issue_evals\": "
+                 "%llu, \"issue_candidates\": %llu },\n",
+                 indent, u(s.wakeupHits), u(s.overflowParks),
+                 u(s.overflowRescans), u(s.fastForwarded),
+                 u(s.issueEvals), u(s.issueCandidates));
+}
+
+/// One timed single-configuration campaign; returns trials/second.
+double
+runCampaignOnce(const pipeline::CoreParams &params,
+                const isa::Program *prog,
+                const fault::CampaignConfig &cfg,
+                fault::CampaignResult *result)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fault::CampaignResult r = fault::runCampaign(params, prog, cfg);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    const double tps =
+        seconds > 0 ? static_cast<double>(r.injected) / seconds : 0.0;
+    if (result)
+        *result = std::move(r);
+    return tps;
+}
+
+/// Run an older bench binary as the B side of an A/B round and pull
+/// trials_per_second out of its FH_JSON. The first occurrence in the
+/// file is the single-thread row, which is the one we compare against.
+/// FH_BENCH_BASELINE is cleared in the child so a baseline built from
+/// this revision cannot recurse into its own A/B loop.
+double
+runBaselineBinary(const std::string &bin)
+{
+    const std::string tmp = "/tmp/fh_bench_ab_baseline.json";
+    const std::string cmd = "FH_THREADS=1 FH_DIST_WORKERS=0 "
+                            "FH_BENCH_BASELINE= FH_JSON='" +
+                            tmp + "' '" + bin +
+                            "' >/dev/null 2>/dev/null";
+    if (std::system(cmd.c_str()) != 0)
+        return 0.0;
+    std::FILE *f = std::fopen(tmp.c_str(), "r");
+    if (!f)
+        return 0.0;
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    const char *key = "\"trials_per_second\":";
+    const size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
 }
 
 void
@@ -128,6 +225,7 @@ main()
         std::fprintf(stderr, "  %.1f trials/s (%.2f s)\n", tps,
                      run.seconds);
         printPhases(stderr, run.result.phases);
+        printSched(stderr, run.result.sched);
         runs.push_back(std::move(run));
     }
 
@@ -199,6 +297,78 @@ main()
         runs.push_back(std::move(run));
     }
 
+    // Interleaved A/B: alternate current-vs-baseline rounds under
+    // identical settings, so noise on a shared container lands on both
+    // sides of the comparison instead of whichever binary ran second.
+    // Best-of-rounds is the headline on each side — the max is the run
+    // least disturbed by neighbors.
+    const std::string baselineSpec =
+        bench::envStr("FH_BENCH_BASELINE", "");
+    std::vector<double> abCur, abBase;
+    if (!baselineSpec.empty()) {
+        const unsigned rounds = static_cast<unsigned>(
+            bench::envU64("FH_BENCH_ROUNDS", 5));
+        const bool modeBaseline = baselineSpec == "scan";
+        fault::CampaignConfig abCfg = cfg;
+        abCfg.threads = 1;
+        pipeline::CoreParams scanParams = params;
+        scanParams.scanIssue = true;
+        std::fprintf(stderr,
+                     "interleaved A/B: current vs %s, %u round(s), 1 "
+                     "worker thread\n",
+                     modeBaseline ? "in-process scan oracle"
+                                  : baselineSpec.c_str(),
+                     rounds);
+        for (unsigned round = 0; round < rounds; ++round) {
+            fault::CampaignResult cur;
+            abCur.push_back(
+                runCampaignOnce(params, &prog, abCfg, &cur));
+            double base = 0.0;
+            if (modeBaseline) {
+                fault::CampaignResult alt;
+                base = runCampaignOnce(scanParams, &prog, abCfg, &alt);
+                // Free equivalence check: the scan oracle must
+                // classify every trial identically.
+                if (cur.injected != alt.injected ||
+                    cur.masked != alt.masked || cur.noisy != alt.noisy ||
+                    cur.sdc != alt.sdc ||
+                    cur.recovered != alt.recovered ||
+                    cur.detected != alt.detected ||
+                    cur.uncovered != alt.uncovered ||
+                    cur.trialErrors != alt.trialErrors) {
+                    std::fprintf(stderr,
+                                 "FATAL: scan-oracle classification "
+                                 "diverges from wakeup scheduler\n");
+                    return 1;
+                }
+            } else {
+                base = runBaselineBinary(baselineSpec);
+                if (base <= 0.0) {
+                    std::fprintf(stderr,
+                                 "FATAL: baseline %s produced no "
+                                 "throughput figure\n",
+                                 baselineSpec.c_str());
+                    return 1;
+                }
+            }
+            abBase.push_back(base);
+            std::fprintf(stderr,
+                         "  round %u/%u: current %.1f vs baseline "
+                         "%.1f trials/s (%.3fx)\n",
+                         round + 1, rounds, abCur.back(), base,
+                         base > 0 ? abCur.back() / base : 0.0);
+        }
+        const double bestCur =
+            *std::max_element(abCur.begin(), abCur.end());
+        const double bestBase =
+            *std::max_element(abBase.begin(), abBase.end());
+        std::fprintf(stderr,
+                     "  best-of-%u: current %.1f vs baseline %.1f "
+                     "trials/s — ratio %.3fx\n",
+                     rounds, bestCur, bestBase,
+                     bestBase > 0 ? bestCur / bestBase : 0.0);
+    }
+
     const std::string json = bench::envStr("FH_JSON", "-");
     std::FILE *out = json == "-" ? stdout : std::fopen(json.c_str(), "w");
     if (!out) {
@@ -228,11 +398,36 @@ main()
         std::fprintf(out, "      \"elapsed_seconds\": %.3f,\n",
                      run.seconds);
         std::fprintf(out, "      \"trials_per_second\": %.1f,\n", tps);
+        writeJsonSched(out, run.result.sched, "      ");
         writeJsonPhases(out, run.result.phases, "      ");
         std::fprintf(out, "\n    }%s\n",
                      i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
+    if (!abCur.empty()) {
+        auto writeArray = [out](const char *name,
+                                const std::vector<double> &v) {
+            std::fprintf(out, "    \"%s\": [", name);
+            for (size_t i = 0; i < v.size(); ++i)
+                std::fprintf(out, "%s%.1f", i ? ", " : "", v[i]);
+            std::fprintf(out, "],\n");
+        };
+        const double bestCur =
+            *std::max_element(abCur.begin(), abCur.end());
+        const double bestBase =
+            *std::max_element(abBase.begin(), abBase.end());
+        std::fprintf(out, "  \"ab\": {\n");
+        std::fprintf(out, "    \"baseline\": \"%s\",\n",
+                     baselineSpec.c_str());
+        std::fprintf(out, "    \"rounds\": %zu,\n", abCur.size());
+        writeArray("current_trials_per_second", abCur);
+        writeArray("baseline_trials_per_second", abBase);
+        std::fprintf(out, "    \"best_current\": %.1f,\n", bestCur);
+        std::fprintf(out, "    \"best_baseline\": %.1f,\n", bestBase);
+        std::fprintf(out, "    \"ratio\": %.3f\n",
+                     bestBase > 0 ? bestCur / bestBase : 0.0);
+        std::fprintf(out, "  },\n");
+    }
     const fault::CampaignResult &r = runs.front().result;
     std::fprintf(out, "  \"classification\": {\n");
     std::fprintf(out, "    \"injected\": %llu,\n", u(r.injected));

@@ -223,6 +223,10 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
 {
     CampaignResult r;
     ++r.injected;
+    // Scheduler observability: each fork starts from the snapshot's
+    // counters, so its contribution is the delta past them. Captured
+    // before any fork because the last fork consumes t.master by move.
+    const pipeline::CoreStats snapStats = t.master.stats();
 
     // Golden fork: no fault, detector checks off (architecturally
     // identical to a protected run; faster).
@@ -231,6 +235,7 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
                                    t.targets, cfg.forkMaxCycles,
                                    deadline);
     r.phases.goldenNs += nsSince(t0);
+    r.sched += SchedCounters::delta(golden.core.stats(), snapStats);
 
     // A provably dead injection: the bare fork would replay the golden
     // fork bit for bit (see Trial::provablyMasked), so classify from
@@ -251,6 +256,7 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
     ForkOutcome &bare = forkInto(fs.bare, t.master, &t.plan, false,
                                  t.targets, cfg.forkMaxCycles, deadline);
     r.phases.bareNs += nsSince(t0);
+    r.sched += SchedCounters::delta(bare.core.stats(), snapStats);
 
     if (!bare.reachedTargets)
         ++r.hungBare; // diagnostic only; still classified noisy below
@@ -284,6 +290,7 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
         forkInto(fs.prot, std::move(t.master), &t.plan, true, t.targets,
                  cfg.forkMaxCycles, deadline);
     r.phases.protectedNs += nsSince(t0);
+    r.sched += SchedCounters::delta(prot.core.stats(), snapStats);
 
     if (!prot.reachedTargets)
         ++r.hungProtected; // diagnostic; classification unchanged
@@ -308,6 +315,9 @@ runTrialLedger(const pipeline::CoreParams &params,
 {
     CampaignResult r;
     ++r.injected;
+    // Per-fork scheduler deltas past the snapshot's counters (see
+    // runTrialGoldenFork); captured before the move-consuming fork.
+    const pipeline::CoreStats snapStats = t.master.stats();
 
     // A provably dead injection against a genuinely-crossed, untrapped
     // golden entry: a no-fault fork reaches its targets and samples
@@ -335,6 +345,7 @@ runTrialLedger(const pipeline::CoreParams &params,
             : forkInto(fs.bare, t.master, &t.plan, false, t.targets,
                        cfg.forkMaxCycles, deadline);
     r.phases.bareNs += nsSince(t0);
+    r.sched += SchedCounters::delta(bare.core.stats(), snapStats);
 
     if (!bare.reachedTargets)
         ++r.hungBare; // diagnostic only; still classified noisy below
@@ -363,6 +374,7 @@ runTrialLedger(const pipeline::CoreParams &params,
         forkInto(fs.prot, std::move(t.master), &t.plan, true, t.targets,
                  cfg.forkMaxCycles, deadline);
     r.phases.protectedNs += nsSince(t0);
+    r.sched += SchedCounters::delta(prot.core.stats(), snapStats);
 
     if (!prot.reachedTargets)
         ++r.hungProtected; // diagnostic; classification unchanged
@@ -487,13 +499,16 @@ struct CampaignSession::Impl
                (cfg.stopAfterTrials && executed >= cfg.stopAfterTrials);
     }
 
-    /** Tick the master over one inter-injection gap; true if it ran
-     *  to completion (false = the workload halted inside it). */
+    /** Advance the master over one inter-injection gap; true if it ran
+     *  to completion (false = the workload halted inside it). Uses
+     *  Core::advance so wakeup-mode masters fast-forward through idle
+     *  stretches — the post-gap machine state is bit-identical to gap
+     *  individual ticks (the ledger observer only fires on commits,
+     *  which never happen in a skipped cycle). */
     bool advanceGap()
     {
         const Cycle gap = gapRng.range(cfg.minGap, cfg.maxGap);
-        for (Cycle c = 0; c < gap && !master.allHalted(); ++c)
-            master.tick();
+        master.advance(gap);
         if (master.allHalted()) {
             halted = true;
             return false;
@@ -582,6 +597,7 @@ CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
 {
     RangeOutcome out;
     CampaignPhases produced;
+    const pipeline::CoreStats masterBase = master.stats();
     bool stopped = false;
 
     while (trial < end && !halted && !stopped) {
@@ -666,6 +682,7 @@ CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
     out.halted = halted;
     out.stopped = stopped;
     out.phases = produced;
+    out.sched = SchedCounters::delta(master.stats(), masterBase);
     return out;
 }
 
@@ -691,6 +708,7 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
 {
     RangeOutcome out;
     CampaignPhases produced;
+    const pipeline::CoreStats masterBase = master.stats();
     bool stopped = false;
 
     auto promote = [&] {
@@ -840,6 +858,7 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
     out.halted = halted;
     out.stopped = stopped;
     out.phases = produced;
+    out.sched = SchedCounters::delta(master.stats(), masterBase);
     return out;
 }
 
@@ -928,6 +947,7 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
         });
     result.partial = out.stopped;
     result.phases += out.phases;
+    result.sched += out.sched;
     return result;
 }
 

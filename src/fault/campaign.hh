@@ -163,6 +163,50 @@ struct CampaignPhases
     }
 };
 
+/**
+ * Event-driven scheduler counters summed over every core the campaign
+ * ran (master advance + all forks): how the issue stage did its work,
+ * not what the workload did. Purely observational — excluded from the
+ * journal's trial packing and the distributed wire format (like
+ * phases), so journal bytes and classification stay identical across
+ * scheduler modes; in FH_SCAN_ISSUE=1 oracle mode everything except
+ * issueEvals/issueCandidates reads zero.
+ */
+struct SchedCounters
+{
+    u64 wakeupHits = 0;      ///< consumers moved wake row -> ready pool
+    u64 overflowParks = 0;   ///< subscriptions parked on overflow lists
+    u64 overflowRescans = 0; ///< overflow refs examined by the slow path
+    u64 fastForwarded = 0;   ///< idle cycles skipped by fast-forward
+    u64 issueEvals = 0;      ///< cycles the issue stage examined refs
+    u64 issueCandidates = 0; ///< ready candidates across those cycles
+
+    SchedCounters &operator+=(const SchedCounters &o)
+    {
+        wakeupHits += o.wakeupHits;
+        overflowParks += o.overflowParks;
+        overflowRescans += o.overflowRescans;
+        fastForwarded += o.fastForwarded;
+        issueEvals += o.issueEvals;
+        issueCandidates += o.issueCandidates;
+        return *this;
+    }
+
+    /** Counter deltas between two CoreStats snapshots of one core. */
+    static SchedCounters delta(const pipeline::CoreStats &now,
+                               const pipeline::CoreStats &base)
+    {
+        SchedCounters d;
+        d.wakeupHits = now.wakeupHits - base.wakeupHits;
+        d.overflowParks = now.overflowParks - base.overflowParks;
+        d.overflowRescans = now.overflowRescans - base.overflowRescans;
+        d.fastForwarded = now.fastForwarded - base.fastForwarded;
+        d.issueEvals = now.issueEvals - base.issueEvals;
+        d.issueCandidates = now.issueCandidates - base.issueCandidates;
+        return d;
+    }
+};
+
 /** Figure 11 bins for SDC faults. */
 struct SdcBins
 {
@@ -227,6 +271,7 @@ struct CampaignResult
 
     SdcBins bins;
     CampaignPhases phases; ///< wall-time breakdown (not a count)
+    SchedCounters sched;   ///< scheduler observability (not journaled)
 
     u64 covered() const { return recovered + detected; }
     double coverage() const
@@ -263,6 +308,7 @@ struct CampaignResult
         replayedTrials += o.replayedTrials;
         bins += o.bins;
         phases += o.phases;
+        sched += o.sched;
         return *this;
     }
 };
@@ -294,6 +340,9 @@ struct RangeOutcome
     /** Producer-side wall time (master advance + snapshots) spent in
      *  this call; worker-side phase time rides in the trial deltas. */
     CampaignPhases phases;
+    /** Master-side scheduler counters accumulated during this call
+     *  (trial forks report theirs through the trial deltas). */
+    SchedCounters sched;
 };
 
 /**

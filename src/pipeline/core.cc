@@ -1,6 +1,7 @@
 #include "pipeline/core.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "isa/exec.hh"
 #include "sim/logging.hh"
@@ -11,6 +12,33 @@ namespace fh::pipeline
 using filters::CommitAction;
 using filters::CompleteAction;
 using filters::StreamKind;
+
+namespace
+{
+
+/**
+ * Consumers one wake row holds before spilling to the overflow list.
+ * Sized for the common fan-out of an in-flight producer (consumers of
+ * long-ready values never subscribe); the spill path is correct at any
+ * capacity, just slower, so this only trades arena bytes per fork
+ * memcpy against overflow rescans.
+ */
+constexpr u32 kWakeRowCap = 6;
+
+/** "No scheduled event" sentinel for the idle fast-forward. */
+constexpr Cycle kNoEvent = ~Cycle{0};
+
+} // namespace
+
+bool
+CoreParams::envScanIssue()
+{
+    static const bool scan = [] {
+        const char *v = std::getenv("FH_SCAN_ISSUE");
+        return v && v[0] == '1' && v[1] == '\0';
+    }();
+    return scan;
+}
 
 void
 ValueProbe::sample(StreamKind kind, u64 pc, u64 value)
@@ -67,7 +95,7 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
     // grouped at the front, cold per-entry payloads at the back.
     struct PerTid
     {
-        size_t hot, iq, issued, delay, store, cold, fetch;
+        size_t hot, iq, issued, delay, store, pool, ovfl, cold, fetch;
     };
     std::vector<PerTid> off(nt);
     for (unsigned tid = 0; tid < nt; ++tid)
@@ -79,9 +107,17 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
         off[tid].issued = arena_.reserve<FinishRef>(ref_cap);
         off[tid].delay = arena_.reserve<u32>(delay_cap);
         off[tid].store = arena_.reserve<u32>(store_cap);
+        off[tid].pool = arena_.reserve<SeqRef>(ref_cap);
+        off[tid].ovfl = arena_.reserve<SeqRef>(ref_cap);
     }
     const size_t stack_off = arena_.reserve<u32>(params_.physRegs);
     const size_t values_off = arena_.reserve<u64>(params_.physRegs);
+    // Issue/complete batch scratch: bounded by every list that can feed
+    // it (per tid: the issued list, or pool + overflow).
+    const u32 scratch_cap = nt * 2 * ref_cap;
+    const size_t scratch_off = arena_.reserve<SeqRef>(scratch_cap);
+    const size_t rows_off =
+        arena_.reserve<SeqRef>(size_t{params_.physRegs} * kWakeRowCap);
     for (unsigned tid = 0; tid < nt; ++tid)
         off[tid].cold = arena_.reserve<RobCold>(rob_cap);
     for (unsigned tid = 0; tid < nt; ++tid)
@@ -99,6 +135,8 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
     lsqCounts_.assign(nt, 0);
     iqLists_.resize(nt);
     issuedLists_.resize(nt);
+    readyPools_.resize(nt);
+    overflowLists_.resize(nt);
     for (unsigned tid = 0; tid < nt; ++tid) {
         robs_[tid].bind(arena_.at<RobHot>(off[tid].hot),
                         arena_.at<RobCold>(off[tid].cold), rob_cap);
@@ -111,6 +149,16 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
         iqLists_[tid].bind(arena_.at<SeqRef>(off[tid].iq), ref_cap);
         issuedLists_[tid].bind(arena_.at<FinishRef>(off[tid].issued),
                                ref_cap);
+        readyPools_[tid].bind(arena_.at<SeqRef>(off[tid].pool), ref_cap);
+        overflowLists_[tid].bind(arena_.at<SeqRef>(off[tid].ovfl),
+                                 ref_cap);
+    }
+    scanScratch_.bind(arena_.at<SeqRef>(scratch_off), scratch_cap);
+    wakeRows_.resize(params_.physRegs);
+    for (unsigned preg = 0; preg < params_.physRegs; ++preg) {
+        wakeRows_[preg].bind(arena_.at<SeqRef>(rows_off) +
+                                 size_t{preg} * kWakeRowCap,
+                             kWakeRowCap);
     }
 
     for (unsigned tid = 0; tid < nt; ++tid) {
@@ -154,8 +202,12 @@ Core::Core(const Core &other)
       threads_(other.threads_),
       iqCount_(other.iqCount_),
       lsqCounts_(other.lsqCounts_),
+      scanScratch_(other.scanScratch_),
       iqLists_(other.iqLists_),
       issuedLists_(other.issuedLists_),
+      wakeRows_(other.wakeRows_),
+      readyPools_(other.readyPools_),
+      overflowLists_(other.overflowLists_),
       fetchRotate_(other.fetchRotate_),
       issueBlockedUntil_(other.issueBlockedUntil_),
       stats_(other.stats_),
@@ -188,9 +240,12 @@ Core::operator=(const Core &other)
     threads_ = other.threads_;
     iqCount_ = other.iqCount_;
     lsqCounts_ = other.lsqCounts_;
-    scanScratch_.clear(); // always empty between ticks; keep capacity
+    scanScratch_ = other.scanScratch_; // always empty between ticks
     iqLists_ = other.iqLists_;
     issuedLists_ = other.issuedLists_;
+    wakeRows_ = other.wakeRows_;
+    readyPools_ = other.readyPools_;
+    overflowLists_ = other.overflowLists_;
     fetchRotate_ = other.fetchRotate_;
     issueBlockedUntil_ = other.issueBlockedUntil_;
     stats_ = other.stats_;
@@ -211,9 +266,16 @@ Core::rebindViews(const Core &other)
         ts.delayBuffer.shiftBase(delta);
         ts.storeList.shiftBase(delta);
     }
+    scanScratch_.shiftBase(delta);
     for (RefList<SeqRef> &list : iqLists_)
         list.shiftBase(delta);
     for (RefList<FinishRef> &list : issuedLists_)
+        list.shiftBase(delta);
+    for (RefList<SeqRef> &row : wakeRows_)
+        row.shiftBase(delta);
+    for (RefList<SeqRef> &list : readyPools_)
+        list.shiftBase(delta);
+    for (RefList<SeqRef> &list : overflowLists_)
         list.shiftBase(delta);
 }
 
@@ -255,11 +317,11 @@ Core::pushRef(RefList<FinishRef> &list, EntryState want,
 }
 
 void
-Core::sortBySeq(std::vector<SeqRef> &v)
+Core::sortBySeq(RefList<SeqRef> &v)
 {
-    for (size_t i = 1; i < v.size(); ++i) {
+    for (u32 i = 1; i < v.size(); ++i) {
         const SeqRef key = v[i];
-        size_t j = i;
+        u32 j = i;
         while (j > 0 && v[j - 1].seq > key.seq) {
             v[j] = v[j - 1];
             --j;
@@ -305,8 +367,21 @@ Core::tick()
 void
 Core::run(Cycle max_cycles)
 {
-    for (Cycle i = 0; i < max_cycles && !allHalted(); ++i)
+    advance(max_cycles);
+}
+
+void
+Core::advance(Cycle cycles)
+{
+    const Cycle end = cycle_ + cycles;
+    while (cycle_ < end && !allHalted()) {
+        if (!params_.scanIssue) {
+            fastForward(end);
+            if (cycle_ >= end)
+                break;
+        }
         tick();
+    }
 }
 
 bool
@@ -334,14 +409,25 @@ Core::runUntilCommitted(const std::vector<u64> &targets, Cycle max_cycles)
         }
         return true;
     };
-    for (Cycle i = 0; i < max_cycles; ++i) {
+    const Cycle end = cycle_ + max_cycles;
+    for (;;) {
         if (done())
             return true; // return before ticking: no post-freeze cycles
         if (all_frozen())
             return done(); // frozen short of a target: hung, bail now
+        if (cycle_ >= end)
+            return done();
+        if (!params_.scanIssue) {
+            // Dead cycles can't flip done()/all_frozen() (no commits
+            // happen in them), so skipping is decision-equivalent; a
+            // no-event machine lands on the same hung cycle_ = end the
+            // per-cycle loop would reach.
+            fastForward(end);
+            if (cycle_ >= end)
+                return done();
+        }
         tick();
     }
-    return done();
 }
 
 Cycle
@@ -500,8 +586,14 @@ Core::tryCommitHead(unsigned tid)
 
     if (e.destPreg != invalidPreg) {
         renames_[tid].commit(e.inst.rd, e.destPreg);
-        if (e.oldPreg != invalidPreg)
+        if (e.oldPreg != invalidPreg) {
             regfile_.release(e.oldPreg);
+            // release() flips the ready bit back on: a consumer whose
+            // injected (dangling) source tag aliases the freed preg
+            // becomes issuable now, exactly as the scan would see it.
+            if (!params_.scanIssue)
+                wakePreg(e.oldPreg);
+        }
     }
 
     if (isa::isBranch(e.inst.op))
@@ -558,7 +650,7 @@ Core::commitStage()
 void
 Core::completeStage()
 {
-    std::vector<SeqRef> &pending = scanScratch_;
+    RefList<SeqRef> &pending = scanScratch_;
     pending.clear();
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         Rob &rob = robs_[tid];
@@ -641,6 +733,8 @@ Core::completeEntry(unsigned tid, unsigned slot)
     if (e.destPreg != invalidPreg) {
         regfile_.write(e.destPreg, e.result);
         ++stats_.regWrites;
+        if (!params_.scanIssue)
+            wakePreg(e.destPreg);
     }
 
     if (isa::isBranch(e.inst.op))
@@ -885,8 +979,22 @@ Core::issueStage()
     if (cycle_ < issueBlockedUntil_)
         return; // singleton re-execute owns the issue slots
 
-    std::vector<SeqRef> &ready = scanScratch_;
-    ready.clear();
+    scanScratch_.clear();
+    if (params_.scanIssue)
+        collectCandidatesScan();
+    else
+        collectCandidatesWakeup();
+    sortBySeq(scanScratch_);
+    stats_.issueCandidates += scanScratch_.size();
+    issueCandidates();
+    scanScratch_.clear();
+}
+
+void
+Core::collectCandidatesScan()
+{
+    RefList<SeqRef> &ready = scanScratch_;
+    ++stats_.issueEvals;
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         Rob &rob = robs_[tid];
         // Scan only the slots known to wait in the issue queue; stale
@@ -928,13 +1036,105 @@ Core::issueStage()
         }
         iq.resize(keep);
     }
-    sortBySeq(ready);
+}
 
+void
+Core::collectCandidatesWakeup()
+{
+    RefList<SeqRef> &ready = scanScratch_;
+    bool examined = false;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        Rob &rob = robs_[tid];
+
+        // Slow path first: the overflow list holds waiters whose wake
+        // row was full (including dangling rename-fault tags that may
+        // never see a wake). They get the full scan predicate every
+        // cycle, exactly like a scan-mode IQ ref; not-ready refs stay
+        // parked here rather than bouncing back onto saturated rows.
+        RefList<SeqRef> &ovfl = overflowLists_[tid];
+        u32 keep = 0;
+        for (u32 i = 0; i < ovfl.size(); ++i) {
+            const SeqRef ref = ovfl[i];
+            ++stats_.overflowRescans;
+            examined = true;
+            const RobHot &h = rob.hot(ref.slot);
+            if (!h.valid || h.seq != ref.seq ||
+                h.state != EntryState::Dispatched) {
+                continue; // stale: squashed, issued, or slot reused
+            }
+            ovfl[keep++] = ref;
+            if (h.src1Preg != invalidPreg && !regfile_.ready(h.src1Preg))
+                continue;
+            if (!h.isStore && h.src2Preg != invalidPreg &&
+                !regfile_.ready(h.src2Preg)) {
+                continue;
+            }
+            if (h.isLoad) {
+                const RobCold &e = rob.cold(ref.slot);
+                const u64 base_val = h.src1Preg != invalidPreg
+                                         ? regfile_.read(h.src1Preg)
+                                         : 0;
+                const Addr addr = isa::effectiveAddr(e.inst, base_val);
+                if (loadBlocked(tid, h.seq, addr))
+                    continue;
+            }
+            ready.push_back(ref);
+        }
+        ovfl.resize(keep);
+
+        // Ready pool: every ref re-proves the full scan predicate
+        // before becoming a candidate. Readiness is non-monotonic
+        // (triggerReplay re-marks producers not-ready), so a pooled
+        // entry whose source went cold re-subscribes to a wake row and
+        // leaves the pool; a load blocked on memory ordering stays
+        // pooled (its store dependence has no wake edge) but yields no
+        // candidate — identical to the scan's rejection.
+        RefList<SeqRef> &pool = readyPools_[tid];
+        keep = 0;
+        for (u32 i = 0; i < pool.size(); ++i) {
+            const SeqRef ref = pool[i];
+            examined = true;
+            const RobHot &h = rob.hot(ref.slot);
+            if (!h.valid || h.seq != ref.seq ||
+                h.state != EntryState::Dispatched) {
+                continue; // stale ref, drop
+            }
+            if (h.src1Preg != invalidPreg &&
+                !regfile_.ready(h.src1Preg)) {
+                subscribeWaiter(h.src1Preg, ref);
+                continue;
+            }
+            if (!h.isStore && h.src2Preg != invalidPreg &&
+                !regfile_.ready(h.src2Preg)) {
+                subscribeWaiter(h.src2Preg, ref);
+                continue;
+            }
+            pool[keep++] = ref;
+            if (h.isLoad) {
+                const RobCold &e = rob.cold(ref.slot);
+                const u64 base_val = h.src1Preg != invalidPreg
+                                         ? regfile_.read(h.src1Preg)
+                                         : 0;
+                const Addr addr = isa::effectiveAddr(e.inst, base_val);
+                if (loadBlocked(tid, h.seq, addr))
+                    continue;
+            }
+            ready.push_back(ref);
+        }
+        pool.resize(keep);
+    }
+    if (examined)
+        ++stats_.issueEvals;
+}
+
+void
+Core::issueCandidates()
+{
     unsigned total = 0;
     unsigned alu = 0;
     unsigned mul = 0;
     unsigned mem_ops = 0;
-    for (const SeqRef &c : ready) {
+    for (const SeqRef &c : scanScratch_) {
         if (total >= params_.issueWidth)
             break;
         Rob &rob = robs_[c.tid];
@@ -973,7 +1173,150 @@ Core::issueStage()
         ++total;
         ++stats_.issued;
     }
-    ready.clear();
+}
+
+// The comment above issueStage's re-validation applies in wakeup mode
+// too: the pool/overflow may briefly hold two refs to one entry (a
+// replay re-dispatch while a stale ref still matches the reused
+// seq/slot), so the candidate *multiplicity* can differ between modes
+// — but duplicates past the first always fail the state check here,
+// so the issued sequence is identical.
+
+void
+Core::enqueueForIssue(unsigned tid, unsigned slot, const RobHot &h)
+{
+    const SeqRef ref{h.seq, tid, slot};
+    // Subscribe to the first not-ready source, probed in the exact
+    // order the scan predicate checks them; the pool re-check catches
+    // a second source that goes cold later.
+    if (h.src1Preg != invalidPreg && !regfile_.ready(h.src1Preg)) {
+        subscribeWaiter(h.src1Preg, ref);
+        return;
+    }
+    if (!h.isStore && h.src2Preg != invalidPreg &&
+        !regfile_.ready(h.src2Preg)) {
+        subscribeWaiter(h.src2Preg, ref);
+        return;
+    }
+    pushRef(readyPools_[tid], EntryState::Dispatched, ref);
+}
+
+void
+Core::subscribeWaiter(unsigned preg, const SeqRef &ref)
+{
+    RefList<SeqRef> &row = wakeRows_[preg];
+    if (row.full()) {
+        // One row can hold waiters from several threads (dangling
+        // rename-fault tags cross contexts), so staleness must consult
+        // each ref's own ROB — unlike pushRef's single-list predicate.
+        row.compact([&](const SeqRef &r) {
+            const RobHot &h = robs_[r.tid].hot(r.slot);
+            return h.valid && h.seq == r.seq &&
+                   h.state == EntryState::Dispatched;
+        });
+    }
+    if (!row.full()) {
+        row.push_back(ref);
+        return;
+    }
+    ++stats_.overflowParks;
+    pushRef(overflowLists_[ref.tid], EntryState::Dispatched, ref);
+}
+
+void
+Core::wakePreg(unsigned preg)
+{
+    RefList<SeqRef> &row = wakeRows_[preg];
+    for (u32 i = 0; i < row.size(); ++i) {
+        const SeqRef r = row[i];
+        const RobHot &h = robs_[r.tid].hot(r.slot);
+        if (h.valid && h.seq == r.seq &&
+            h.state == EntryState::Dispatched) {
+            pushRef(readyPools_[r.tid], EntryState::Dispatched, r);
+            ++stats_.wakeupHits;
+        }
+    }
+    row.clear();
+}
+
+void
+Core::drainAllWakeRows()
+{
+    for (unsigned preg = 0; preg < params_.physRegs; ++preg)
+        if (!wakeRows_[preg].empty())
+            wakePreg(preg);
+}
+
+// ------------------------------------------------------- fast-forward
+
+Cycle
+Core::nextEventCycle() const
+{
+    const Cycle soon = cycle_ + 1;
+    // A populated pool or overflow list must be re-examined every
+    // cycle (memory-ordering blocks and non-monotonic readiness have
+    // no wake edge), so those cycles are never dead.
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        if (!readyPools_[tid].empty() || !overflowLists_[tid].empty())
+            return soon;
+    }
+    Cycle next = kNoEvent;
+    const auto consider = [&](Cycle c) {
+        next = std::min(next, std::max(c, soon));
+    };
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        const ThreadState &ts = threads_[tid];
+        if (ts.halted)
+            continue;
+        const bool frozen = ts.opts.stopAfterInsts != 0 &&
+                            ts.committed >= ts.opts.stopAfterInsts;
+        const Rob &rob = robs_[tid];
+        if (!frozen && !rob.empty()) {
+            const unsigned head = rob.headSlot();
+            if (rob.hot(head).state == EntryState::Completed)
+                consider(rob.cold(head).commitReadyAt);
+        }
+        // FinishRef keys never exceed the live finishCycle, so the
+        // earliest key bounds the next completion from below — a safe
+        // (possibly early) wake, never a missed one.
+        const RefList<FinishRef> &il = issuedLists_[tid];
+        for (u32 i = 0; i < il.size(); ++i)
+            consider(il[i].finish);
+        // Queued front-end work: dispatch acts when the fetch-queue
+        // head matures (back-pressure stalls then re-check per cycle,
+        // conservatively keeping those cycles live).
+        if (!(quiesceFrozen_ && frozen) && !ts.fetchQ.empty())
+            consider(ts.fetchQ.front().availAt);
+        // Fetch eligibility mirrors fetchStage's own gating.
+        if (!frozen && !ts.fetchBlocked &&
+            ts.fetchQ.size() < 4 * params_.fetchWidth &&
+            ts.fetchPc < prog_->text.size()) {
+            consider(ts.fetchStallUntil);
+        }
+        if (next <= soon)
+            return soon;
+    }
+    return next;
+}
+
+void
+Core::fastForward(Cycle limit)
+{
+    // Jump to one cycle before the next scheduled event: every skipped
+    // tick is provably a no-op in all five stages (nothing due to
+    // commit, complete, issue, dispatch, or fetch), so only the cycle
+    // counters move. kNoEvent machines skip straight to the limit,
+    // landing on the same final cycle_ the per-cycle loop reaches.
+    const Cycle next = nextEventCycle();
+    if (next <= cycle_ + 1)
+        return;
+    const Cycle target = std::min(next - 1, limit);
+    if (target <= cycle_)
+        return;
+    const Cycle skip = target - cycle_;
+    stats_.fastForwarded += skip;
+    stats_.cycles += skip;
+    cycle_ = target;
 }
 
 // -------------------------------------------------------------- dispatch
@@ -1041,8 +1384,12 @@ Core::dispatchStage()
 
             if (needs_iq) {
                 ++iqCount_;
-                pushRef(iqLists_[tid], EntryState::Dispatched,
-                        {h.seq, tid, slot});
+                if (params_.scanIssue) {
+                    pushRef(iqLists_[tid], EntryState::Dispatched,
+                            {h.seq, tid, slot});
+                } else {
+                    enqueueForIssue(tid, slot, h);
+                }
             } else {
                 h.state = EntryState::Completed;
                 e.completedOnce = true;
@@ -1172,12 +1519,20 @@ Core::triggerReplay(unsigned tid)
         // it drains, which is the replay's back-pressure).
         h.state = EntryState::Dispatched;
         ++iqCount_;
-        pushRef(iqLists_[tid], EntryState::Dispatched,
-                {h.seq, tid, slot});
+        // Mark the destination cold *before* routing the entry: the
+        // delay buffer is oldest-first and producers complete before
+        // their consumers, so a replayed consumer later in this loop
+        // subscribes to the already-not-ready producer it depends on.
         e.inReplay = true;
         e.inDelayBuffer = false;
         if (e.destPreg != invalidPreg)
             regfile_.markNotReady(e.destPreg);
+        if (params_.scanIssue) {
+            pushRef(iqLists_[tid], EntryState::Dispatched,
+                    {h.seq, tid, slot});
+        } else {
+            enqueueForIssue(tid, slot, h);
+        }
         if (h.isLoad || h.isStore) {
             e.addrValid = false;
             e.dataValid = false;
@@ -1193,6 +1548,10 @@ Core::undoRenameOf(RobCold &entry, unsigned tid)
     if (entry.destPreg != invalidPreg) {
         renames_[tid].restore(entry.inst.rd, entry.oldPreg);
         regfile_.release(entry.destPreg);
+        // The freed preg reads as ready again; waiters holding it as a
+        // (possibly dangling) source tag become issuable.
+        if (!params_.scanIssue)
+            wakePreg(entry.destPreg);
     }
 }
 
@@ -1248,8 +1607,11 @@ Core::squashAllOf(unsigned tid)
         unsigned slot = rob.tailSlot();
         const RobHot &h = rob.hot(slot);
         const RobCold &e = rob.cold(slot);
-        if (e.destPreg != invalidPreg)
+        if (e.destPreg != invalidPreg) {
             regfile_.release(e.destPreg);
+            if (!params_.scanIssue)
+                wakePreg(e.destPreg);
+        }
         if (occupiesIq(h))
             --iqCount_;
         if (h.isLoad || h.isStore)
@@ -1308,6 +1670,13 @@ Core::faultRollback(unsigned tid)
         }
     }
     regfile_.resetFreeList(live);
+    // The free-list rebuild may flip many ready bits at once (wrongly-
+    // freed registers repaired back to ready). Conservatively drain
+    // every wake row into the pools; the per-cycle pool re-check
+    // re-subscribes anything still genuinely waiting. Rollbacks are
+    // rare, so the mass drain costs nothing on the steady path.
+    if (!params_.scanIssue)
+        drainAllWakeRows();
 
     // Values recomputed by the rollback are deemed final: the next
     // checks of this thread update the filters without re-triggering.

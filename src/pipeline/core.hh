@@ -65,6 +65,18 @@ struct CoreStats
     u64 regReads = 0;
     u64 regWrites = 0;
 
+    // Event-driven scheduler observability. These describe *how* the
+    // issue stage did its work, so they legitimately differ between
+    // wakeup and scan-oracle mode; everything above is issue-order
+    // driven and stays bit-identical across modes (the fuzz
+    // equivalence suite compares those fields explicitly).
+    u64 wakeupHits = 0;      ///< consumers moved wake row -> ready pool
+    u64 overflowParks = 0;   ///< subscriptions parked on the overflow list
+    u64 overflowRescans = 0; ///< overflow refs examined by the slow path
+    u64 fastForwarded = 0;   ///< idle cycles skipped (included in cycles)
+    u64 issueEvals = 0;      ///< cycles the issue stage examined refs
+    u64 issueCandidates = 0; ///< ready candidates across those cycles
+
     bool operator==(const CoreStats &other) const = default;
 };
 
@@ -155,6 +167,19 @@ class Core
 
     /** Advance one cycle. */
     void tick();
+
+    /**
+     * Advance exactly `cycles` cycles (or until every thread halts),
+     * fast-forwarding through provably idle stretches in wakeup mode:
+     * when no stage can make progress before the next scheduled event
+     * (pending finish, fetch stall expiry, commit-delay expiry, queued
+     * front-end work), cycle_ jumps there instead of ticking through
+     * dead cycles. State after advance(n) is bit-identical to n
+     * tick() calls — dead cycles are exactly the ticks with no effect
+     * beyond the cycle counters. The campaign's inter-injection gaps
+     * run through this.
+     */
+    void advance(Cycle cycles);
 
     /** Run until every thread halted or max_cycles elapse. */
     void run(Cycle max_cycles);
@@ -344,6 +369,43 @@ class Core
     void dispatchStage();
     void fetchStage();
 
+    // ---- Producer-indexed wakeup (default issue mode) ----
+    //
+    // Invariant: every Dispatched entry is referenced by the ready
+    // pool, the overflow list, or exactly one wake row keyed by a
+    // source preg that was not ready when the entry subscribed. Wake
+    // rows drain into the pool at every ready-bit 0->1 transition
+    // (wakePreg below — completion writes, commit/squash releases,
+    // rollback free-list rebuilds), so the pool+overflow scan sees
+    // every entry the full-IQ scan would find ready, applies the
+    // identical readiness predicate, and sorts candidates by their
+    // unique seq — the candidate order is provably the scan order.
+
+    /** Route a newly Dispatched entry: pool if its scanned-in-order
+     *  sources are ready, else subscribe to the first not-ready one. */
+    void enqueueForIssue(unsigned tid, unsigned slot, const RobHot &h);
+    /** Park ref on wake row `preg` (overflow list when the row stays
+     *  full after compacting stale refs). */
+    void subscribeWaiter(unsigned preg, const SeqRef &ref);
+    /** Drain row `preg` into the ready pools (ready bit went 0->1). */
+    void wakePreg(unsigned preg);
+    /** Conservative mass wake after resetFreeList flips many ready
+     *  bits at once (fault rollback): drain every non-empty row. */
+    void drainAllWakeRows();
+    /** Collect this cycle's issue candidates into scanScratch_ (seq
+     *  order) — scan oracle and wakeup flavors. */
+    void collectCandidatesScan();
+    void collectCandidatesWakeup();
+    /** Issue scanScratch_ against the port/width limits. */
+    void issueCandidates();
+
+    /** Earliest cycle > cycle_ at which any stage can make progress,
+     *  or kNoEvent when nothing is scheduled. */
+    Cycle nextEventCycle() const;
+    /** Jump cycle_ to min(nextEventCycle() - 1, limit); both cycle_
+     *  and stats_.cycles advance by the skip. */
+    void fastForward(Cycle limit);
+
     /** Try to commit the head of one thread; true if it retired. */
     bool tryCommitHead(unsigned tid);
     void executeAtIssue(unsigned tid, unsigned slot);
@@ -374,7 +436,7 @@ class Core
     /** Stable age-order sort of a scan batch. Seq keys are unique, so
      *  any comparison sort yields the identical order; insertion sort
      *  wins on these small, mostly-sorted batches. */
-    static void sortBySeq(std::vector<SeqRef> &v);
+    static void sortBySeq(RefList<SeqRef> &v);
 
     /** Fix every arena view pointer after a member-wise copy. */
     void rebindViews(const Core &other);
@@ -416,10 +478,10 @@ class Core
     unsigned iqCount_ = 0;
     std::vector<unsigned> lsqCounts_; ///< per-context LSQ partitions
 
-    /** Scratch for the per-cycle ROB scans; kept as a member so its
-     *  capacity survives across ticks instead of being reallocated
-     *  every cycle. Always empty outside a stage. */
-    std::vector<SeqRef> scanScratch_;
+    /** Scratch for the per-cycle issue/complete batches, arena-backed
+     *  so the hot path performs zero steady-state heap traffic (on the
+     *  scan-oracle path too). Always empty outside a stage. */
+    RefList<SeqRef> scanScratch_;
 
     /**
      * Per-thread slot lists driving the issue and complete scans:
@@ -433,6 +495,26 @@ class Core
      */
     std::vector<RefList<SeqRef>> iqLists_;
     std::vector<RefList<FinishRef>> issuedLists_;
+
+    /**
+     * Wakeup-mode scheduler state (all arena-backed; scan-oracle mode
+     * allocates but never touches it, keeping the two layouts — and
+     * therefore cross-mode copy-assignment — identical):
+     *  - wakeRows_[preg]: consumers subscribed to producer preg
+     *    (fixed-capacity rows, one per physical register);
+     *  - readyPools_[tid]: entries whose subscribed source went ready
+     *    (or that dispatched fully ready); re-validated every issue
+     *    cycle with the full scan predicate, so non-monotonic
+     *    readiness (replay markNotReady) re-subscribes them;
+     *  - overflowLists_[tid]: waiters that found their row full — the
+     *    "never wakes" parking lot (dangling rename-fault tags land
+     *    here too when their row saturates), drained by a slow-path
+     *    rescan each issue cycle.
+     */
+    std::vector<RefList<SeqRef>> wakeRows_;
+    std::vector<RefList<SeqRef>> readyPools_;
+    std::vector<RefList<SeqRef>> overflowLists_;
+
     unsigned fetchRotate_ = 0;
     Cycle issueBlockedUntil_ = 0;
 

@@ -65,6 +65,14 @@ class PhysRegFile
     u64 read(unsigned preg) const { return values_[preg]; }
     bool ready(unsigned preg) const { return ready_[preg] != 0; }
 
+    // Wakeup contract (Core's event-driven issue mode): every call
+    // that can flip a ready bit 0->1 — write(), release(),
+    // markReady(), resetFreeList() — must be followed by a
+    // Core::wakePreg() (or drainAllWakeRows() for the bulk rebuild) at
+    // its Core call site, or subscribed consumers sleep through the
+    // transition. 1->0 transitions (allocate(), markNotReady()) need
+    // no hook: the ready pool re-proves readiness every issue cycle.
+
     void write(unsigned preg, u64 value)
     {
         values_[preg] = value;
@@ -76,7 +84,8 @@ class PhysRegFile
 
     /** Allocate a free register; returns false when none available. */
     bool allocate(unsigned &preg);
-    /** Return a register to the free list. */
+    /** Return a register to the free list (its ready bit reads as set
+     *  again — wakeup-contract site, see above). */
     void release(unsigned preg);
     bool isFree(unsigned preg) const { return free_[preg] != 0; }
     unsigned freeCount() const { return freeCount_; }

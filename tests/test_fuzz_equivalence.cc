@@ -329,3 +329,109 @@ INSTANTIATE_TEST_SUITE_P(PoolWidths, ForkEquivalence,
                          [](const testing::TestParamInfo<unsigned> &i) {
                              return "threads" + std::to_string(i.param);
                          });
+
+namespace
+{
+
+class ScanOracleEquivalence : public testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+/**
+ * Wakeup-vs-scan issue-stage oracle: two masters over the same random
+ * program, one on the event-driven wakeup scheduler (the default) and
+ * one on the retired per-cycle scan (params.scanIssue, the
+ * FH_SCAN_ISSUE oracle), ticked in lockstep — then fault trials forked
+ * from both at the same points must agree on every observable a
+ * classifier reads. The mix is rename-heavy so plans routinely leave
+ * dangling source tags (the wakeup overflow/park path), and the
+ * protected forks run the FaultHound detector whose triggered replays
+ * re-dispatch completed consumers (the non-monotonic markNotReady
+ * re-subscription path). Both modes are forced explicitly so the suite
+ * stays meaningful whichever mode the surrounding ctest run selected.
+ * Parameterized over pool width to race per-worker forks at 1 and 4
+ * threads.
+ */
+TEST_P(ScanOracleEquivalence, WakeupMatchesScanIssue)
+{
+    const unsigned nthreads = GetParam();
+    Program prog = randomProgram(23, 100'000);
+
+    pipeline::CoreParams wakeParams;
+    wakeParams.detector = filters::DetectorParams::faultHound();
+    wakeParams.scanIssue = false;
+    pipeline::CoreParams scanParams = wakeParams;
+    scanParams.scanIssue = true;
+
+    pipeline::Core wakeMaster(wakeParams, &prog);
+    pipeline::Core scanMaster(scanParams, &prog);
+    while (wakeMaster.committedTotal() < 3000 &&
+           !wakeMaster.allHalted()) {
+        wakeMaster.tick();
+        scanMaster.tick();
+    }
+    ASSERT_FALSE(wakeMaster.allHalted());
+    ASSERT_EQ(wakeMaster.cycle(), scanMaster.cycle());
+
+    struct Snap
+    {
+        pipeline::Core wake;
+        pipeline::Core scan;
+        fault::InjectionPlan plan;
+        std::vector<u64> targets;
+    };
+    constexpr u64 kTrials = 10;
+    constexpr Cycle kMaxCycles = 200'000;
+    constexpr u64 kWindow = 150;
+    Rng rng(29);
+    fault::InjectionMix mix;
+    mix.renameFrac = 0.6; // rename-heavy: dangling-tag parks
+    std::vector<Snap> snaps;
+    snaps.reserve(kTrials);
+    for (u64 t = 0; t < kTrials && !wakeMaster.allHalted(); ++t) {
+        const Cycle gap = rng.range(40, 160);
+        for (Cycle c = 0; c < gap && !wakeMaster.allHalted(); ++c) {
+            wakeMaster.tick();
+            scanMaster.tick();
+        }
+        if (wakeMaster.allHalted())
+            break;
+        snaps.push_back({wakeMaster, scanMaster,
+                         fault::drawPlan(wakeMaster, mix, rng),
+                         fault::windowTargets(wakeMaster, kWindow)});
+    }
+    ASSERT_GE(snaps.size(), 6u);
+
+    exec::ThreadPool pool(nthreads);
+    pool.parallelFor(snaps.size(), [&](u64 k) {
+        const Snap &s = snaps[k];
+
+        // Bare forks: identical fault propagation without a detector.
+        fault::ForkOutcome wb = fault::runFork(s.wake, &s.plan, false,
+                                               s.targets, kMaxCycles);
+        fault::ForkOutcome sb = fault::runFork(s.scan, &s.plan, false,
+                                               s.targets, kMaxCycles);
+        expectSameOutcome(wb, sb, k, "bare");
+
+        // Protected forks: detector triggers and replay storms must
+        // land on the same cycles in both schedulers.
+        fault::ForkOutcome wp = fault::runFork(s.wake, &s.plan, true,
+                                               s.targets, kMaxCycles);
+        fault::ForkOutcome sp = fault::runFork(s.scan, &s.plan, true,
+                                               s.targets, kMaxCycles);
+        expectSameOutcome(wp, sp, k, "protected");
+        EXPECT_EQ(wp.core.detector().stats().triggers,
+                  sp.core.detector().stats().triggers)
+            << "trial " << k;
+        EXPECT_EQ(wp.core.faultDetected(), sp.core.faultDetected())
+            << "trial " << k;
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolWidths, ScanOracleEquivalence,
+                         testing::Values(1u, 4u),
+                         [](const testing::TestParamInfo<unsigned> &i) {
+                             return "threads" + std::to_string(i.param);
+                         });
