@@ -21,6 +21,12 @@
  * overhead against the in-process rows and asserts the merged
  * classification is bit-identical to the single-thread run.
  *
+ * FH_AB_EARLY_STOP=1 (the default; 0 disables) adds an interleaved
+ * early-stop A/B block: FH_BENCH_ROUNDS (default 3) alternating rounds
+ * of the same campaign with arch-digest early termination on and off,
+ * asserting identical classification and reporting best-of-rounds
+ * throughput for both sides plus the on/off speedup ratio.
+ *
  * FH_BENCH_BASELINE=<binary|mode> turns on interleaved same-window A/B
  * measurement — the honest way to compare revisions on a noisy shared
  * container, where back-to-back runs see different neighbors. Each of
@@ -369,6 +375,69 @@ main()
                      bestBase > 0 ? bestCur / bestBase : 0.0);
     }
 
+    // Interleaved early-stop A/B: the same campaign with arch-digest
+    // early termination on and off, alternating rounds so container
+    // noise lands on both sides. Classification must be identical —
+    // early exit is licensed only by provable fault erasure — so the
+    // check here is as much an oracle as a benchmark. Best-of-rounds
+    // on each side, ratio = on/off (the early-stop speedup).
+    std::vector<double> abEsOn, abEsOff;
+    fault::CampaignResult esOnR, esOffR;
+    const bool abEarlyStop =
+        bench::envU64("FH_AB_EARLY_STOP", 1) != 0;
+    if (abEarlyStop) {
+        const unsigned rounds = static_cast<unsigned>(
+            bench::envU64("FH_BENCH_ROUNDS", 3));
+        fault::CampaignConfig onCfg = cfg;
+        onCfg.threads = 1;
+        onCfg.earlyStop = true;
+        fault::CampaignConfig offCfg = onCfg;
+        offCfg.earlyStop = false;
+        std::fprintf(stderr,
+                     "interleaved A/B: early-stop on vs off, %u "
+                     "round(s), 1 worker thread\n",
+                     rounds);
+        for (unsigned round = 0; round < rounds; ++round) {
+            abEsOn.push_back(
+                runCampaignOnce(params, &prog, onCfg, &esOnR));
+            abEsOff.push_back(
+                runCampaignOnce(params, &prog, offCfg, &esOffR));
+            if (esOnR.injected != esOffR.injected ||
+                esOnR.masked != esOffR.masked ||
+                esOnR.noisy != esOffR.noisy ||
+                esOnR.sdc != esOffR.sdc ||
+                esOnR.recovered != esOffR.recovered ||
+                esOnR.detected != esOffR.detected ||
+                esOnR.uncovered != esOffR.uncovered ||
+                esOnR.trialErrors != esOffR.trialErrors) {
+                std::fprintf(stderr,
+                             "FATAL: early-stop classification "
+                             "diverges from the full-window run\n");
+                return 1;
+            }
+            std::fprintf(stderr,
+                         "  round %u/%u: on %.1f vs off %.1f "
+                         "trials/s (%.3fx)\n",
+                         round + 1, rounds, abEsOn.back(),
+                         abEsOff.back(),
+                         abEsOff.back() > 0
+                             ? abEsOn.back() / abEsOff.back()
+                             : 0.0);
+        }
+        const double bestOn =
+            *std::max_element(abEsOn.begin(), abEsOn.end());
+        const double bestOff =
+            *std::max_element(abEsOff.begin(), abEsOff.end());
+        std::fprintf(stderr,
+                     "  best-of-%u: on %.1f vs off %.1f trials/s — "
+                     "ratio %.3fx (%llu/%llu trials early-terminated)\n",
+                     rounds, bestOn, bestOff,
+                     bestOff > 0 ? bestOn / bestOff : 0.0,
+                     static_cast<unsigned long long>(
+                         esOnR.earlyTerminated),
+                     static_cast<unsigned long long>(esOnR.injected));
+    }
+
     const std::string json = bench::envStr("FH_JSON", "-");
     std::FILE *out = json == "-" ? stdout : std::fopen(json.c_str(), "w");
     if (!out) {
@@ -426,6 +495,32 @@ main()
         std::fprintf(out, "    \"best_baseline\": %.1f,\n", bestBase);
         std::fprintf(out, "    \"ratio\": %.3f\n",
                      bestBase > 0 ? bestCur / bestBase : 0.0);
+        std::fprintf(out, "  },\n");
+    }
+    if (!abEsOn.empty()) {
+        auto writeArray = [out](const char *name,
+                                const std::vector<double> &v) {
+            std::fprintf(out, "    \"%s\": [", name);
+            for (size_t i = 0; i < v.size(); ++i)
+                std::fprintf(out, "%s%.1f", i ? ", " : "", v[i]);
+            std::fprintf(out, "],\n");
+        };
+        const double bestOn =
+            *std::max_element(abEsOn.begin(), abEsOn.end());
+        const double bestOff =
+            *std::max_element(abEsOff.begin(), abEsOff.end());
+        std::fprintf(out, "  \"ab_early_stop\": {\n");
+        std::fprintf(out, "    \"rounds\": %zu,\n", abEsOn.size());
+        writeArray("on_trials_per_second", abEsOn);
+        writeArray("off_trials_per_second", abEsOff);
+        std::fprintf(out, "    \"best_on\": %.1f,\n", bestOn);
+        std::fprintf(out, "    \"best_off\": %.1f,\n", bestOff);
+        std::fprintf(out, "    \"ratio\": %.3f,\n",
+                     bestOff > 0 ? bestOn / bestOff : 0.0);
+        std::fprintf(out, "    \"early_terminated\": %llu,\n",
+                     u(esOnR.earlyTerminated));
+        std::fprintf(out, "    \"skipped_provably_masked\": %llu\n",
+                     u(esOnR.skippedProvablyMasked));
         std::fprintf(out, "  },\n");
     }
     const fault::CampaignResult &r = runs.front().result;

@@ -19,6 +19,12 @@
  *                  run many campaign cells would contend for the file)
  *   FH_TRIAL_TIMEOUT_MS  per-trial wall-clock budget; overruns are
  *                  isolated and counted as trial errors
+ *   FH_EARLY_STOP  set to 0 to disable bare-fork early termination on
+ *                  provable fault erasure (default 1; classification
+ *                  is identical either way)
+ *   FH_CI_TARGET   adaptive stop: pooled SDC-rate Wilson CI
+ *                  half-width target (default 0 = fixed-count)
+ *   FH_CI_WAVE     adaptive stop wave size in trials (default 64)
  *   FH_DIST_WORKERS  bench_campaign_throughput only: add a row run
  *                  through the distributed fabric with this many
  *                  forked worker processes (coordinator in-process,
@@ -61,6 +67,13 @@ envStr(const char *name, const std::string &def)
 {
     const char *v = std::getenv(name);
     return v ? v : def;
+}
+
+inline double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtod(v, nullptr) : def;
 }
 
 /** Worker-thread budget from FH_THREADS (unset/0 = all hardware). */
@@ -218,6 +231,9 @@ campaignConfig()
     cfg.threads = static_cast<unsigned>(envU64("FH_THREADS", 0));
     cfg.forceGoldenFork = envU64("FH_GOLDEN_FORK", 0) != 0;
     cfg.trialTimeoutMs = envU64("FH_TRIAL_TIMEOUT_MS", 0);
+    cfg.earlyStop = envU64("FH_EARLY_STOP", 1) != 0;
+    cfg.ciTarget = envDouble("FH_CI_TARGET", 0.0);
+    cfg.ciWave = envU64("FH_CI_WAVE", 64);
     return cfg;
 }
 

@@ -35,11 +35,13 @@
  *   fhsim dispatch jobs=4 bench=ocean injections=5000 json=-
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dist/coordinator.hh"
@@ -103,6 +105,14 @@ declareAllKeys(const Config &cfg)
     cfg.declareKey("trial_timeout_ms",
                    "wall-clock budget per trial; overruns become "
                    "trial errors (0 = off)");
+    cfg.declareKey("early_stop",
+                   "end bare forks early on provable fault erasure "
+                   "(default true; classification unchanged)");
+    cfg.declareKey("ci_target",
+                   "adaptive stop: pooled SDC-rate CI half-width "
+                   "target (0 = fixed-count campaign)");
+    cfg.declareKey("ci_wave",
+                   "adaptive stop wave size in trials (default 64)");
     cfg.declareKey("json",
                    "write the FH_JSON campaign record here "
                    "(\"-\" = stdout)");
@@ -203,6 +213,10 @@ specFromConfig(const Config &cfg)
     spec.campaign.seed = cfg.getU64("seed", 1);
     spec.campaign.forceGoldenFork = cfg.getBool("golden_fork", false);
     spec.campaign.trialTimeoutMs = cfg.getU64("trial_timeout_ms", 0);
+    spec.campaign.earlyStop =
+        cfg.getBool("early_stop", spec.campaign.earlyStop);
+    spec.campaign.ciTarget = cfg.getDouble("ci_target", 0.0);
+    spec.campaign.ciWave = cfg.getU64("ci_wave", 64);
     return spec;
 }
 
@@ -257,6 +271,16 @@ emitCampaignOutputs(const Config &cfg, const std::string &bench,
     std::printf("%-34s%-16d# 1 = interrupted, counters are a "
                 "prefix\n",
                 "campaign.partial", r.partial ? 1 : 0);
+    std::printf("%-34s%-16llu# masked with no fork executed\n",
+                "campaign.skipped_provably_masked",
+                static_cast<unsigned long long>(
+                    r.skippedProvablyMasked));
+    std::printf("%-34s%-16llu# bare forks ended by fault-watch "
+                "erasure\n",
+                "campaign.early_terminated",
+                static_cast<unsigned long long>(r.earlyTerminated));
+    std::printf("%-34s%-16d# 1 = adaptive CI stop fired\n",
+                "campaign.ci_stopped", r.ciStopped ? 1 : 0);
     // Wall-time phase split goes to stderr with the other
     // diagnostics: stdout stays byte-identical across runs and
     // worker counts (the determinism suite diffs it).
@@ -291,6 +315,60 @@ emitCampaignOutputs(const Config &cfg, const std::string &bench,
                                     static_cast<double>(s.issueEvals)
                               : 0.0,
                  ull(s.issueCandidates), ull(s.issueEvals));
+    // Per-site vulnerability profile (stderr diagnostics; the full
+    // machine-readable block rides FH_JSON). Stratum rows with no
+    // trials are elided.
+    auto stratumName = [](unsigned si) -> std::string {
+        if (si == 0)
+            return "rename";
+        const unsigned group =
+            (si - 1) % fault::StratumSpace::kBitGroups;
+        const unsigned lo = group * fault::StratumSpace::kGroupBits;
+        const unsigned hi = lo + fault::StratumSpace::kGroupBits - 1;
+        const char *kind =
+            si < 1 + fault::StratumSpace::kBitGroups ? "lsq"
+            : si < 1 + 2 * fault::StratumSpace::kBitGroups
+                ? "reg-inflight"
+                : "reg-static";
+        return csprintf("%s[b%u-%u]", kind, lo, hi);
+    };
+    std::fprintf(stderr,
+                 "fhsim: vulnerability profile — %-14s%8s%8s%8s%8s\n",
+                 "stratum", "trials", "masked", "sdc", "covered");
+    for (unsigned si = 0; si < fault::StratumSpace::kCount; ++si) {
+        const fault::StratumCounts &sc = r.profile.strata[si];
+        if (sc.trials == 0)
+            continue;
+        std::fprintf(stderr,
+                     "fhsim:   %-32s%8llu%8llu%8llu%8llu\n",
+                     stratumName(si).c_str(), ull(sc.trials),
+                     ull(sc.masked), ull(sc.sdc), ull(sc.covered));
+    }
+    {
+        const fault::StratumSpace space(ccfg.mix);
+        std::fprintf(stderr,
+                     "fhsim: pooled SDC-rate CI half-width %.5f "
+                     "(target %.5f%s)\n",
+                     fault::pooledSdcHalfWidth(r.profile, space),
+                     ccfg.ciTarget,
+                     ccfg.ciTarget > 0.0
+                         ? r.ciStopped ? ", reached" : ", not reached"
+                         : ", fixed-count");
+        // Root-cause attribution: the workload instructions whose
+        // values produced the most SDCs.
+        std::vector<std::pair<u64, u64>> pcs(r.profile.sdcPcs.begin(),
+                                             r.profile.sdcPcs.end());
+        std::sort(pcs.begin(), pcs.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second != b.second ? a.second > b.second
+                                                  : a.first < b.first;
+                  });
+        for (size_t i = 0; i < pcs.size() && i < 5; ++i)
+            std::fprintf(stderr,
+                         "fhsim:   sdc source pc 0x%llx — %llu "
+                         "SDC(s)\n",
+                         ull(pcs[i].first), ull(pcs[i].second));
+    }
     const std::string json = jsonPathFromConfig(cfg);
     if (!json.empty())
         fault::writeCampaignJson(json, bench, workers, ccfg, r,

@@ -19,7 +19,8 @@ namespace fh::dist
 
 Coordinator::Coordinator(const CampaignSpec &spec,
                          const CoordinatorOptions &opts)
-    : spec_(spec), opts_(opts), listen_(opts.listen)
+    : spec_(spec), opts_(opts), listen_(opts.listen),
+      strata_(spec.campaign.mix)
 {
     std::string error;
     listenFd_ = listenOn(listen_, error);
@@ -82,20 +83,59 @@ void
 Coordinator::drainStash(fault::TrialJournal *journal)
 {
     auto it = stash_.find(mergedNext_);
-    while (it != stash_.end() && it->first == mergedNext_) {
-        result_ += it->second;
+    while (it != stash_.end() && it->first == mergedNext_ &&
+           mergedNext_ < effectiveEnd_) {
+        result_ += it->second.delta;
+        result_.profile.addTrial(it->second.delta, it->second.meta);
         if (journal)
-            journal->record(mergedNext_, it->second);
+            journal->record(mergedNext_, it->second.delta,
+                            it->second.meta);
         if (opts_.progress)
             opts_.progress->tick();
         ++stats_.trialsMerged;
         it = stash_.erase(it);
         ++mergedNext_;
+        // Adaptive wave barrier: the stop rule fires only on the
+        // merged contiguous prefix at a wave boundary — the identical
+        // decision point a single-process run evaluates — so further
+        // stashed records (from leases already in flight) are simply
+        // never merged.
+        maybeCiStop();
     }
     if (opts_.stopAfterMerged && !shuttingDown_ &&
         stats_.trialsMerged >= opts_.stopAfterMerged) {
         beginShutdown();
     }
+}
+
+void
+Coordinator::maybeCiStop()
+{
+    const fault::CampaignConfig &cc = spec_.campaign;
+    if (cc.ciTarget <= 0.0 || result_.ciStopped ||
+        mergedNext_ >= effectiveEnd_ || mergedNext_ == 0) {
+        return;
+    }
+    const u64 wave = std::max<u64>(cc.ciWave, 1);
+    if (mergedNext_ % wave != 0)
+        return;
+    if (fault::pooledSdcHalfWidth(result_.profile, strata_) >
+        cc.ciTarget) {
+        return;
+    }
+    // Same shrink-and-truncate as a halt report: no trial at or past
+    // the boundary is merged, queued chunks past it are dropped, and
+    // in-flight leases resolve normally (their stashed records beyond
+    // the boundary are discarded at the end).
+    result_.ciStopped = true;
+    effectiveEnd_ = mergedNext_;
+    std::deque<Range> kept;
+    for (Range r : queue_) {
+        r.end = std::min(r.end, effectiveEnd_);
+        if (r.begin < r.end)
+            kept.push_back(r);
+    }
+    queue_.swap(kept);
 }
 
 void
@@ -169,7 +209,9 @@ Coordinator::handleFrame(Conn &c, const Frame &f)
             t.trial != c.leaseNext) {
             return false; // out-of-order record: treat as dead
         }
-        stash_.emplace(t.trial, fault::unpackTrialCounters(t.d));
+        stash_.emplace(t.trial,
+                       MergedTrial{fault::unpackTrialCounters(t.d),
+                                   fault::unpackTrialMeta(t.m)});
         ++c.leaseNext;
         return true;
     }
@@ -302,11 +344,17 @@ Coordinator::run(fault::TrialJournal *journal)
     if (journal) {
         for (u64 t = 0; t < journal->replayCount(); ++t) {
             result_ += journal->replayed(t);
+            result_.profile.addTrial(journal->replayed(t),
+                                     journal->replayedMeta(t));
             ++result_.replayedTrials;
             if (opts_.progress)
                 opts_.progress->tick();
         }
         mergedNext_ = journal->replayCount();
+        // A resumed adaptive campaign whose journaled prefix already
+        // satisfies the stop rule must stop at the same wave instead
+        // of leasing more work.
+        maybeCiStop();
     }
 
     // Chunking: ~4 leases per expected worker bounds both the lost

@@ -135,6 +135,7 @@ class Coordinator
     void issueLeases();
     void applyHalt(u64 haltTrial);
     void drainStash(fault::TrialJournal *journal);
+    void maybeCiStop();
     void beginShutdown();
     bool outstandingWork() const;
 
@@ -145,11 +146,22 @@ class Coordinator
     std::vector<Conn> conns_;
     std::vector<pid_t> children_;
 
+    /** One merged trial: the journal record pair. */
+    struct MergedTrial
+    {
+        fault::CampaignResult delta;
+        fault::TrialMeta meta;
+    };
+
     std::deque<Range> queue_; ///< sorted by begin, non-overlapping
-    std::map<u64, fault::CampaignResult> stash_;
+    std::map<u64, MergedTrial> stash_;
     u64 mergedNext_ = 0;
-    u64 effectiveEnd_ = 0; ///< injections, shrunk by a halt report
+    u64 effectiveEnd_ = 0; ///< injections, shrunk by halt or CI stop
     bool shuttingDown_ = false;
+    /** The campaign's stratification — the same analytic weights every
+     *  worker uses, so the coordinator's CI stop rule is the exact
+     *  rule a single process applies to the same merged prefix. */
+    fault::StratumSpace strata_;
     fault::CampaignResult result_;
     DistStats stats_;
 };

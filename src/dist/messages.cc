@@ -62,6 +62,8 @@ TrialMsg::encode() const
     putU64(p, trial);
     for (size_t i = 0; i < fault::kTrialCounters; ++i)
         putU64(p, d[i]);
+    for (size_t i = 0; i < fault::kTrialMetaFields; ++i)
+        putU64(p, m[i]);
     return p;
 }
 
@@ -72,6 +74,8 @@ TrialMsg::decode(const std::vector<u8> &payload, TrialMsg &out)
     out.trial = c.u64v();
     for (size_t i = 0; i < fault::kTrialCounters; ++i)
         out.d[i] = c.u64v();
+    for (size_t i = 0; i < fault::kTrialMetaFields; ++i)
+        out.m[i] = c.u64v();
     return c.done();
 }
 

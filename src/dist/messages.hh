@@ -7,10 +7,12 @@
  * or the message is rejected, and a rejected message from a worker
  * marks that worker dead — the merge never ingests a suspect record.
  *
- * The Trial payload is exactly the journal's counter vector
- * (fault::kTrialCounters, in record-array order): a coordinator can
- * journal a worker's trial verbatim and the merged journal is
- * byte-identical to a single-process run's.
+ * The Trial payload is exactly the journal's counter vector plus its
+ * sampling-metadata vector (fault::kTrialCounters and
+ * fault::kTrialMetaFields, both in record-array order): a coordinator
+ * can journal a worker's trial verbatim — and fold it into its
+ * vulnerability profile / CI estimator — and the merged journal and
+ * profile are byte-identical to a single-process run's.
  */
 
 #ifndef FH_DIST_MESSAGES_HH
@@ -25,8 +27,11 @@
 namespace fh::dist
 {
 
-/** Bump on any wire-visible change; mismatch refuses the worker. */
-constexpr u32 kProtocolVersion = 1;
+/** Bump on any wire-visible change; mismatch refuses the worker.
+ *  v2: Trial frames carry the sampling-metadata vector (stratum id,
+ *  site, flags, attribution PC, early-exit cycle) after the counters,
+ *  and the counter vector grew the skipped/early-terminated pair. */
+constexpr u32 kProtocolVersion = 2;
 
 /** Worker -> coordinator, once, immediately after connecting. */
 struct HelloMsg
@@ -58,11 +63,13 @@ struct AssignMsg
     static bool decode(const std::vector<u8> &payload, AssignMsg &out);
 };
 
-/** Worker -> coordinator: one completed trial's counter deltas. */
+/** Worker -> coordinator: one completed trial's counter deltas and
+ *  its sampling metadata (journal record-array order for both). */
 struct TrialMsg
 {
     u64 trial = 0;
     u64 d[fault::kTrialCounters] = {};
+    u64 m[fault::kTrialMetaFields] = {};
 
     std::vector<u8> encode() const;
     static bool decode(const std::vector<u8> &payload, TrialMsg &out);

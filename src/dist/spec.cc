@@ -51,7 +51,10 @@ CampaignSpec::encode() const
         "lsq_frac = %.17g\n"
         "inflight_frac = %.17g\n"
         "golden_fork = %u\n"
-        "trial_timeout_ms = %llu\n",
+        "trial_timeout_ms = %llu\n"
+        "early_stop = %u\n"
+        "ci_target = %.17g\n"
+        "ci_wave = %llu\n",
         bench.c_str(), scheme.c_str(), coreThreads,
         static_cast<unsigned long long>(workload.iterations),
         static_cast<unsigned long long>(workload.seed),
@@ -66,7 +69,9 @@ CampaignSpec::encode() const
         static_cast<unsigned long long>(campaign.seed),
         campaign.mix.renameFrac, campaign.mix.lsqFrac,
         campaign.mix.inflightFrac, campaign.forceGoldenFork ? 1 : 0,
-        static_cast<unsigned long long>(campaign.trialTimeoutMs));
+        static_cast<unsigned long long>(campaign.trialTimeoutMs),
+        campaign.earlyStop ? 1 : 0, campaign.ciTarget,
+        static_cast<unsigned long long>(campaign.ciWave));
 }
 
 bool
@@ -112,6 +117,11 @@ CampaignSpec::decode(const std::string &text, CampaignSpec &out,
         cfg.getDouble("inflight_frac", s.campaign.mix.inflightFrac);
     s.campaign.forceGoldenFork = cfg.getBool("golden_fork", false);
     s.campaign.trialTimeoutMs = cfg.getU64("trial_timeout_ms", 0);
+    s.campaign.earlyStop =
+        cfg.getBool("early_stop", s.campaign.earlyStop);
+    s.campaign.ciTarget =
+        cfg.getDouble("ci_target", s.campaign.ciTarget);
+    s.campaign.ciWave = cfg.getU64("ci_wave", s.campaign.ciWave);
 
     // A key this decoder does not read means the peer speaks a newer
     // spec; running with it silently dropped would break the

@@ -198,10 +198,12 @@ runWorker(const WorkerOptions &opts)
             }
             fault::RangeOutcome out = session->runRange(
                 a.begin, a.end,
-                [&](u64 trial, const fault::CampaignResult &delta) {
+                [&](u64 trial, const fault::CampaignResult &delta,
+                    const fault::TrialMeta &meta) {
                     TrialMsg t;
                     t.trial = trial;
                     fault::packTrialCounters(delta, t.d);
+                    fault::packTrialMeta(meta, t.m);
                     std::lock_guard<std::mutex> lk(st.sendMu);
                     sendFrame(st.fd, MsgType::Trial, t.encode());
                     st.position.store(trial + 1,

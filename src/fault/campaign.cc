@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -18,6 +19,16 @@
 
 namespace fh::fault
 {
+
+bool
+CampaignConfig::envEarlyStop()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("FH_EARLY_STOP");
+        return !v || !(v[0] == '0' && v[1] == '\0');
+    }();
+    return on;
+}
 
 namespace
 {
@@ -92,6 +103,9 @@ struct Trial
      * master-as-golden invariant the ledger already rests on.
      */
     bool provablyMasked = false;
+    /** Sampling metadata (stratum, site, attribution), filled at the
+     *  snapshot; the trial runner adds its flags and exit cycle. */
+    TrialMeta meta{};
 };
 
 /** Evaluate Trial::provablyMasked against the snapshot-time master
@@ -131,14 +145,14 @@ ForkOutcome &
 forkInto(std::optional<ForkOutcome> &slot, const pipeline::Core &base,
          const InjectionPlan *plan, bool detector_enabled,
          const std::vector<u64> &targets, Cycle max_cycles,
-         const ForkDeadline *deadline)
+         const ForkDeadline *deadline, bool arm_regfile_watch = false)
 {
     if (!slot)
         slot.emplace(runFork(base, plan, detector_enabled, targets,
-                             max_cycles, deadline));
+                             max_cycles, deadline, arm_regfile_watch));
     else
         runForkInto(*slot, base, plan, detector_enabled, targets,
-                    max_cycles, deadline);
+                    max_cycles, deadline, arm_regfile_watch);
     return *slot;
 }
 
@@ -146,14 +160,15 @@ ForkOutcome &
 forkInto(std::optional<ForkOutcome> &slot, pipeline::Core &&base,
          const InjectionPlan *plan, bool detector_enabled,
          const std::vector<u64> &targets, Cycle max_cycles,
-         const ForkDeadline *deadline)
+         const ForkDeadline *deadline, bool arm_regfile_watch = false)
 {
     if (!slot)
         slot.emplace(runFork(std::move(base), plan, detector_enabled,
-                             targets, max_cycles, deadline));
+                             targets, max_cycles, deadline,
+                             arm_regfile_watch));
     else
         runForkInto(*slot, std::move(base), plan, detector_enabled,
-                    targets, max_cycles, deadline);
+                    targets, max_cycles, deadline, arm_regfile_watch);
     return *slot;
 }
 
@@ -247,16 +262,40 @@ runTrialGoldenFork(const pipeline::CoreParams &params,
             ++r.noisy;
         } else {
             ++r.masked;
+            // Same skip condition as the ledger path (crossed and
+            // untrapped golden), so the counter merges identically
+            // across both golden modes.
+            if (!golden.trapped) {
+                ++r.skippedProvablyMasked;
+                t.meta.flags |= kMetaSkippedProvablyMasked;
+            }
         }
         return r;
     }
 
-    // Unprotected faulty fork: classifies the fault itself.
+    // Unprotected faulty fork: classifies the fault itself. With a
+    // golden run that crossed its targets untrapped, the regfile fault
+    // watch may end it early: erasure-before-any-read makes the fork
+    // bit-equivalent to the golden fork from that point on (tandem.hh).
+    const bool arm =
+        cfg.earlyStop && golden.reachedTargets && !golden.trapped;
     t0 = PhaseClock::now();
-    ForkOutcome &bare = forkInto(fs.bare, t.master, &t.plan, false,
-                                 t.targets, cfg.forkMaxCycles, deadline);
+    ForkOutcome &bare =
+        forkInto(fs.bare, t.master, &t.plan, false, t.targets,
+                 cfg.forkMaxCycles, deadline, arm);
     r.phases.bareNs += nsSince(t0);
     r.sched += SchedCounters::delta(bare.core.stats(), snapStats);
+    t.meta.exitCycle = bare.exitCycle;
+
+    if (bare.earlyMasked) {
+        // The injected bit was provably erased before any consumer
+        // read it: the rest of the window replays the golden fork,
+        // which reached its targets without trapping — masked.
+        t.meta.flags |= kMetaEarlyTerminated;
+        ++r.masked;
+        ++r.earlyTerminated;
+        return r;
+    }
 
     if (!bare.reachedTargets)
         ++r.hungBare; // diagnostic only; still classified noisy below
@@ -329,6 +368,8 @@ runTrialLedger(const pipeline::CoreParams &params,
     // noisy path with its hung-bare diagnostic.
     if (t.provablyMasked && g.crossed && !g.trapped) {
         ++r.masked;
+        ++r.skippedProvablyMasked;
+        t.meta.flags |= kMetaSkippedProvablyMasked;
         return r;
     }
 
@@ -337,15 +378,28 @@ runTrialLedger(const pipeline::CoreParams &params,
     const bool bare_is_last =
         params.detector.scheme == filters::Scheme::None;
 
+    // A crossed, untrapped golden entry licenses the regfile fault
+    // watch: erasure-before-any-read makes the bare fork equivalent to
+    // a no-fault fork, and the ledger's master-as-golden invariant
+    // says that fork reaches its targets and matches the entry.
+    const bool arm = cfg.earlyStop && g.crossed && !g.trapped;
     auto t0 = PhaseClock::now();
     ForkOutcome &bare =
         bare_is_last
             ? forkInto(fs.bare, std::move(t.master), &t.plan, false,
-                       t.targets, cfg.forkMaxCycles, deadline)
+                       t.targets, cfg.forkMaxCycles, deadline, arm)
             : forkInto(fs.bare, t.master, &t.plan, false, t.targets,
-                       cfg.forkMaxCycles, deadline);
+                       cfg.forkMaxCycles, deadline, arm);
     r.phases.bareNs += nsSince(t0);
     r.sched += SchedCounters::delta(bare.core.stats(), snapStats);
+    t.meta.exitCycle = bare.exitCycle;
+
+    if (bare.earlyMasked) {
+        t.meta.flags |= kMetaEarlyTerminated;
+        ++r.masked;
+        ++r.earlyTerminated;
+        return r;
+    }
 
     if (!bare.reachedTargets)
         ++r.hungBare; // diagnostic only; still classified noisy below
@@ -454,6 +508,7 @@ struct CampaignSession::Impl
          const CampaignConfig &cfg_in)
         : params(params_in),
           cfg(cfg_in),
+          strataSpace(cfg_in.mix),
           master(params_in, prog),
           gapRng(cfg_in.seed),
           threads(exec::resolveThreads(cfg_in.threads)),
@@ -516,6 +571,40 @@ struct CampaignSession::Impl
         return true;
     }
 
+    /**
+     * Draw trial t's plan and fill its sampling metadata. Fixed mode
+     * (ciTarget == 0) keeps the legacy per-trial stream and mix draw —
+     * bit-identical schedules to previous revisions — and only labels
+     * the stratum post hoc. Adaptive mode rotates strata round-robin
+     * by trial index with per-stratum RNG streams, so each stratum's
+     * sample sequence is a pure function of (seed, stratum, count) —
+     * independent of when other strata stop contributing.
+     */
+    InjectionPlan drawTrialPlan(u64 t, TrialMeta &meta)
+    {
+        InjectionPlan plan;
+        if (cfg.ciTarget > 0.0) {
+            const unsigned s =
+                static_cast<unsigned>(t % StratumSpace::kCount);
+            Rng rng =
+                Rng::stream(cfg.seed ^ StratumSpace::stratumSalt(s),
+                            t / StratumSpace::kCount);
+            plan = strataSpace.draw(master, s, rng);
+            meta.stratum = s;
+        } else {
+            Rng rng = Rng::stream(cfg.seed, t);
+            plan = drawPlan(master, cfg.mix, rng);
+            meta.stratum = StratumSpace::stratumOf(plan);
+        }
+        meta.structure = static_cast<u8>(plan.target);
+        meta.bit = static_cast<u8>(plan.bit);
+        meta.cycleBucket = StratumSpace::cycleBucket(master.cycle());
+        meta.flags = 0;
+        meta.pc = plan.faultPc;
+        meta.exitCycle = 0;
+        return plan;
+    }
+
     RangeOutcome runRangeGoldenFork(u64 begin, u64 end,
                                     const TrialSink &sink);
     RangeOutcome runRangeLedger(u64 begin, u64 end,
@@ -524,6 +613,7 @@ struct CampaignSession::Impl
 
     pipeline::CoreParams params;
     CampaignConfig cfg;
+    StratumSpace strataSpace;
     pipeline::Core master;
     Rng gapRng;
     unsigned threads;
@@ -629,8 +719,8 @@ CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
             // injection schedule is a pure function of (seed, trial)
             // regardless of how many workers execute the forks.
             t0 = PhaseClock::now();
-            Rng trialRng = Rng::stream(cfg.seed, trial);
-            const InjectionPlan plan = drawPlan(master, cfg.mix, trialRng);
+            TrialMeta meta;
+            const InjectionPlan plan = drawTrialPlan(trial, meta);
 
             // Record register lifetime phase before any fork runs.
             pipeline::PregPhase phase = pipeline::PregPhase::Free;
@@ -650,11 +740,12 @@ CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
                 slot.masterStats = master.detector().stats();
                 slot.index = trial;
                 slot.provablyMasked = provable;
+                slot.meta = meta;
             } else {
                 batch.push_back(Trial{master, plan,
                                       windowTargets(master, cfg.window),
                                       phase, master.detector().stats(),
-                                      trial, provable});
+                                      trial, provable, meta});
             }
             produced.snapshotNs += nsSince(t0);
             ++filled;
@@ -675,7 +766,7 @@ CampaignSession::Impl::runRangeGoldenFork(u64 begin, u64 end,
         });
         // Merge — and sink — in trial (production) order.
         for (u64 k = 0; k < filled; ++k)
-            sink(batch[k].index, partial[k]);
+            sink(batch[k].index, partial[k], batch[k].meta);
     }
 
     out.nextTrial = trial;
@@ -741,7 +832,8 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
         // bit-identical for any worker count. Ledger slots and trial
         // slots both free up for the next opens.
         for (size_t k = 0; k < wave.size(); ++k) {
-            sink(trialPool[wave[k].trialIdx].index, partial[k]);
+            const Trial &done = trialPool[wave[k].trialIdx];
+            sink(done.index, partial[k], done.meta);
             ledger->release(wave[k].slot);
             freeTrials.push_back(wave[k].trialIdx);
         }
@@ -774,8 +866,8 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
         }
 
         t0 = PhaseClock::now();
-        Rng trialRng = Rng::stream(cfg.seed, trial);
-        const InjectionPlan plan = drawPlan(master, cfg.mix, trialRng);
+        TrialMeta meta;
+        const InjectionPlan plan = drawTrialPlan(trial, meta);
         pipeline::PregPhase phase = pipeline::PregPhase::Free;
         if (plan.target == Target::RegFile)
             phase = master.pregPhase(plan.preg);
@@ -795,12 +887,13 @@ CampaignSession::Impl::runRangeLedger(u64 begin, u64 end,
             tslot.masterStats = master.detector().stats();
             tslot.index = trial;
             tslot.provablyMasked = provable;
+            tslot.meta = meta;
         } else {
             tidx = static_cast<u32>(trialPool.size());
             trialPool.push_back(Trial{master, plan,
                                       windowTargets(master, cfg.window),
                                       phase, master.detector().stats(),
-                                      trial, provable});
+                                      trial, provable, meta});
         }
         const u32 slot = ledger->open(trialPool[tidx].targets);
         inflight.push_back({tidx, slot});
@@ -883,6 +976,12 @@ CampaignSession::rewind()
     impl_->rewind();
 }
 
+const StratumSpace &
+CampaignSession::strata() const
+{
+    return impl_->strataSpace;
+}
+
 RangeOutcome
 CampaignSession::runRange(u64 begin, u64 end, const TrialSink &sink)
 {
@@ -928,9 +1027,13 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
                           journal->replayCount()));
         // A journaled trial's outcome is already known; the session
         // skip-advances the master over its gap (same schedule as the
-        // original run), so only the counters are added here.
+        // original run), so only the counters are added here. The
+        // profile rebuilds from the journaled (delta, meta) pairs —
+        // the same fold an uninterrupted run performs in its sink.
         for (u64 t = 0; t < journal->replayCount(); ++t) {
-            result += journal->replayed(t);
+            const CampaignResult &delta = journal->replayed(t);
+            result += delta;
+            result.profile.addTrial(delta, journal->replayedMeta(t));
             ++result.replayedTrials;
             if (cfg.progress)
                 cfg.progress->tick();
@@ -938,16 +1041,55 @@ runCampaign(const pipeline::CoreParams &params, const isa::Program *prog,
         start = journal->replayCount();
     }
 
-    RangeOutcome out = session.runRange(
-        start, cfg.injections,
-        [&](u64 trial, const CampaignResult &delta) {
-            result += delta;
-            if (journal)
-                journal->record(trial, delta);
-        });
-    result.partial = out.stopped;
-    result.phases += out.phases;
-    result.sched += out.sched;
+    const TrialSink sink = [&](u64 trial, const CampaignResult &delta,
+                               const TrialMeta &meta) {
+        result += delta;
+        result.profile.addTrial(delta, meta);
+        if (journal)
+            journal->record(trial, delta, meta);
+    };
+
+    bool stopped = false;
+    if (cfg.ciTarget <= 0.0) {
+        // Fixed-count legacy mode: one range covers the whole
+        // campaign, bit-identical to previous revisions.
+        RangeOutcome out = session.runRange(start, cfg.injections, sink);
+        stopped = out.stopped;
+        result.phases += out.phases;
+        result.sched += out.sched;
+    } else {
+        // Adaptive mode: drive the session one wave at a time and
+        // evaluate the pooled CI half-width only at wave boundaries,
+        // on counters merged in trial order. The stop decision is a
+        // pure function of the merged trial prefix, so every thread
+        // count — and a journal resume, which rebuilds the same
+        // prefix above — stops at the same wave; the dist coordinator
+        // applies the identical rule to its merged stream.
+        const StratumSpace &space = session.strata();
+        const u64 wave = std::max<u64>(cfg.ciWave, 1);
+        u64 pos = start;
+        while (pos < cfg.injections) {
+            if (pos > 0 && pos % wave == 0 &&
+                pooledSdcHalfWidth(result.profile, space) <=
+                    cfg.ciTarget) {
+                result.ciStopped = true;
+                break;
+            }
+            const u64 waveEnd =
+                std::min((pos / wave + 1) * wave, cfg.injections);
+            RangeOutcome out = session.runRange(pos, waveEnd, sink);
+            result.phases += out.phases;
+            result.sched += out.sched;
+            pos = out.nextTrial;
+            if (out.halted)
+                break;
+            if (out.stopped) {
+                stopped = true;
+                break;
+            }
+        }
+    }
+    result.partial = stopped;
     return result;
 }
 

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "fault/injector.hh"
+#include "fault/sampling.hh"
 #include "fault/tandem.hh"
 #include "isa/program.hh"
 #include "pipeline/core.hh"
@@ -128,6 +129,42 @@ struct CampaignConfig
      * ~0 = never.
      */
     u64 panicAtTrial = ~u64{0};
+
+    /**
+     * Early termination of bare forks (FH_EARLY_STOP, `early_stop=` in
+     * fhsim; default on): arm a fault watch on register-file flips so
+     * a fork whose injected value is provably erased before any read
+     * is classified masked immediately instead of running the window
+     * out. Classification is identical either way (DESIGN.md
+     * "Arch-digest early exit"; fuzzed in test_fuzz_equivalence.cc);
+     * only the earlyTerminated diagnostic counter differs.
+     */
+    bool earlyStop = envEarlyStop();
+
+    /**
+     * FH_EARLY_STOP environment default for earlyStop (unset or any
+     * value but "0" = on). An env read, like FH_SCAN_ISSUE, so the
+     * pinned-count and ledger-equivalence suites can be rerun with
+     * early termination forced off as an equivalence oracle without
+     * touching their configs.
+     */
+    static bool envEarlyStop();
+
+    /**
+     * Adaptive stop target (FH_CI_TARGET, `ci_target=` in fhsim): when
+     * > 0, trials draw stratified injection sites round-robin
+     * (sampling.hh) and the campaign stops at the first wave boundary
+     * where the pooled Wilson half-width on the SDC rate is <= this.
+     * 0 (default) = fixed-count legacy mode, bit-identical schedules
+     * and results to previous revisions. The stop decision is a pure
+     * function of merged wave counters, so adaptive runs are
+     * deterministic across thread and dist worker counts.
+     */
+    double ciTarget = 0.0;
+
+    /** Adaptive wave size in trials (FH_CI_WAVE, `ci_wave=`): the stop
+     *  condition is evaluated only at multiples of this. */
+    u64 ciWave = 64;
 };
 
 /**
@@ -261,10 +298,27 @@ struct CampaignResult
     u64 hungBare = 0;
     u64 hungProtected = 0;
 
+    /**
+     * Trials classified masked without forking at all (the injection
+     * provably cannot change state: idle strike, free register, empty
+     * LSQ). Counted in both injected and masked; they feed the CI
+     * estimator and the profile like any other masked trial.
+     */
+    u64 skippedProvablyMasked = 0;
+
+    /** Bare forks ended early by fault-watch erasure (still counted in
+     *  masked; diagnostic only — the one counter that legitimately
+     *  differs between early-stop on and off). */
+    u64 earlyTerminated = 0;
+
     /** True when the campaign stopped early (signal / stopAfterTrials)
      *  after draining in-flight trials; the counters cover only the
      *  trials actually completed. */
     bool partial = false;
+
+    /** Adaptive mode: the campaign stopped at a wave boundary because
+     *  the pooled CI half-width reached cfg.ciTarget. */
+    bool ciStopped = false;
 
     /** Trials restored from the journal instead of executed. */
     u64 replayedTrials = 0;
@@ -272,6 +326,9 @@ struct CampaignResult
     SdcBins bins;
     CampaignPhases phases; ///< wall-time breakdown (not a count)
     SchedCounters sched;   ///< scheduler observability (not journaled)
+    /** Per-site vulnerability profile; empty on per-trial deltas
+     *  (producers fold deltas + meta via VulnProfile::addTrial). */
+    VulnProfile profile;
 
     u64 covered() const { return recovered + detected; }
     double coverage() const
@@ -304,11 +361,15 @@ struct CampaignResult
         trialErrors += o.trialErrors;
         hungBare += o.hungBare;
         hungProtected += o.hungProtected;
+        skippedProvablyMasked += o.skippedProvablyMasked;
+        earlyTerminated += o.earlyTerminated;
         partial = partial || o.partial;
+        ciStopped = ciStopped || o.ciStopped;
         replayedTrials += o.replayedTrials;
         bins += o.bins;
         phases += o.phases;
         sched += o.sched;
+        profile += o.profile;
         return *this;
     }
 };
@@ -320,12 +381,14 @@ CampaignResult runCampaign(const pipeline::CoreParams &params,
 
 /**
  * Per-trial result consumer: called once per executed trial, in trial
- * order, with the trial's counter deltas. This is the journal's record
- * stream generalized — runCampaign's sink appends to the TrialJournal,
- * a distributed worker's sink frames the same deltas onto a socket.
+ * order, with the trial's counter deltas and its sampling metadata
+ * (stratum, site, attribution — see TrialMeta). This is the journal's
+ * record stream generalized — runCampaign's sink appends to the
+ * TrialJournal and folds the profile, a distributed worker's sink
+ * frames the same deltas + meta onto a socket.
  */
-using TrialSink =
-    std::function<void(u64 trial, const CampaignResult &delta)>;
+using TrialSink = std::function<void(
+    u64 trial, const CampaignResult &delta, const TrialMeta &meta)>;
 
 /** What a CampaignSession::runRange call actually covered. */
 struct RangeOutcome
@@ -396,6 +459,10 @@ class CampaignSession
      * are bit-identical to their first execution.
      */
     void rewind();
+
+    /** The stratification of this campaign's injection mix (labels in
+     *  fixed mode, draw constraints + CI weights in adaptive mode). */
+    const StratumSpace &strata() const;
 
   private:
     struct Impl;

@@ -29,6 +29,14 @@ writeCampaignJson(const std::string &path, const std::string &bench,
     // complete: the classification below covers only injected trials.
     std::fprintf(out, "  \"partial\": %s,\n",
                  r.partial ? "true" : "false");
+    std::fprintf(out, "  \"early_stop\": %s,\n",
+                 cfg.earlyStop ? "true" : "false");
+    std::fprintf(out, "  \"ci_target\": %.17g,\n", cfg.ciTarget);
+    std::fprintf(out, "  \"ci_wave\": %llu,\n", u(cfg.ciWave));
+    // Adaptive campaigns: stopped at a wave boundary because the
+    // pooled Wilson half-width on the SDC rate reached ci_target.
+    std::fprintf(out, "  \"ci_stopped\": %s,\n",
+                 r.ciStopped ? "true" : "false");
     std::fprintf(out, "  \"replayed_trials\": %llu,\n",
                  u(r.replayedTrials));
     std::fprintf(out, "  \"elapsed_seconds\": %.3f,\n", seconds);
@@ -45,8 +53,12 @@ writeCampaignJson(const std::string &path, const std::string &bench,
     std::fprintf(out, "    \"uncovered\": %llu,\n", u(r.uncovered));
     std::fprintf(out, "    \"trial_errors\": %llu,\n", u(r.trialErrors));
     std::fprintf(out, "    \"hung_bare\": %llu,\n", u(r.hungBare));
-    std::fprintf(out, "    \"hung_protected\": %llu\n",
+    std::fprintf(out, "    \"hung_protected\": %llu,\n",
                  u(r.hungProtected));
+    std::fprintf(out, "    \"skipped_provably_masked\": %llu,\n",
+                 u(r.skippedProvablyMasked));
+    std::fprintf(out, "    \"early_terminated\": %llu\n",
+                 u(r.earlyTerminated));
     std::fprintf(out, "  },\n");
     std::fprintf(out, "  \"bins\": {\n");
     std::fprintf(out, "    \"covered\": %llu,\n", u(r.bins.covered));
@@ -59,6 +71,52 @@ writeCampaignJson(const std::string &path, const std::string &bench,
                  u(r.bins.renameUncovered));
     std::fprintf(out, "    \"no_trigger\": %llu,\n", u(r.bins.noTrigger));
     std::fprintf(out, "    \"other\": %llu\n", u(r.bins.other));
+    std::fprintf(out, "  },\n");
+    // Per-site vulnerability profile: pure counter folds over the
+    // trial record stream (deterministic bytes for any thread/worker
+    // count — the dist identity check diffs this block verbatim).
+    std::fprintf(out, "  \"profile\": {\n");
+    std::fprintf(out, "    \"strata\": [\n");
+    for (unsigned si = 0; si < StratumSpace::kCount; ++si) {
+        const StratumCounts &sc = r.profile.strata[si];
+        std::fprintf(out,
+                     "      { \"stratum\": %u, \"trials\": %llu, "
+                     "\"masked\": %llu, \"noisy\": %llu, \"sdc\": %llu, "
+                     "\"covered\": %llu, \"skipped_provably_masked\": "
+                     "%llu, \"early_terminated\": %llu }%s\n",
+                     si, u(sc.trials), u(sc.masked), u(sc.noisy),
+                     u(sc.sdc), u(sc.covered),
+                     u(sc.skippedProvablyMasked), u(sc.earlyTerminated),
+                     si + 1 < StratumSpace::kCount ? "," : "");
+    }
+    std::fprintf(out, "    ],\n");
+    static const char *kStructureNames[VulnProfile::kStructures] = {
+        "regfile", "lsq", "rename"};
+    std::fprintf(out, "    \"sdc_bits\": {\n");
+    for (unsigned st = 0; st < VulnProfile::kStructures; ++st) {
+        std::fprintf(out, "      \"%s\": [", kStructureNames[st]);
+        for (unsigned bit = 0; bit < wordBits; ++bit)
+            std::fprintf(out, "%s%llu", bit ? ", " : "",
+                         u(r.profile.sdcBits[st][bit]));
+        std::fprintf(out, "]%s\n",
+                     st + 1 < VulnProfile::kStructures ? "," : "");
+    }
+    std::fprintf(out, "    },\n");
+    std::fprintf(out, "    \"sdc_pcs\": [");
+    {
+        bool first = true;
+        for (const auto &[pc, n] : r.profile.sdcPcs) {
+            std::fprintf(out, "%s{ \"pc\": \"0x%llx\", \"sdc\": %llu }",
+                         first ? "" : ", ", u(pc), u(n));
+            first = false;
+        }
+    }
+    std::fprintf(out, "],\n");
+    std::fprintf(out, "    \"sdc_cycle_buckets\": [");
+    for (unsigned b = 0; b < VulnProfile::kCycleBuckets; ++b)
+        std::fprintf(out, "%s%llu", b ? ", " : "",
+                     u(r.profile.sdcCycleBuckets[b]));
+    std::fprintf(out, "]\n");
     std::fprintf(out, "  },\n");
     // Event-driven scheduler counters over every core the campaign ran
     // (master + forks): purely observational, never classification.

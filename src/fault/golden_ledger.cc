@@ -29,7 +29,7 @@ void
 GoldenLedger::finalizeThread(u32 slot, unsigned tid)
 {
     Entry &e = entries_[slot];
-    e.arch[tid] = master_->archState(tid);
+    e.archDigests[tid] = master_->archDigest(tid);
     e.digests[tid] = master_->memory().segmentDigest(tid);
     if (master_->committed(tid) < e.targets[tid])
         e.crossed = false; // halted / force-finalized short of target
@@ -54,7 +54,7 @@ GoldenLedger::open(const std::vector<u64> &targets)
     const unsigned n = master_->numThreads();
     Entry &e = entries_[slot];
     e.targets = targets;
-    e.arch.assign(n, {});
+    e.archDigests.assign(n, 0);
     e.digests.assign(master_->memory().segmentCount(), 0);
     e.trapped = false;
     e.crossed = true;
@@ -97,8 +97,12 @@ bool
 GoldenLedger::matches(const Entry &e, const pipeline::Core &fork)
 {
     for (unsigned tid = 0; tid < fork.numThreads(); ++tid) {
-        if (fork.archState(tid) != e.arch[tid])
+        // Recompute the fork side from materialized state: a faulty
+        // fork's incremental digest can be stale (Core::archDigest).
+        if (isa::archStateDigest(fork.archState(tid)) !=
+            e.archDigests[tid]) {
             return false;
+        }
     }
     const mem::Memory &m = fork.memory();
     for (size_t s = 0; s < e.digests.size(); ++s) {

@@ -57,8 +57,13 @@ class GoldenLedger final : public pipeline::CommitObserver
      */
     struct Entry
     {
-        std::vector<u64> targets;          ///< per SMT thread
-        std::vector<isa::ArchState> arch;  ///< per thread, at crossing
+        std::vector<u64> targets; ///< per SMT thread
+        /** Per thread, at crossing: isa::archStateDigest of the
+         *  thread's ArchState, sampled from the master's O(1)
+         *  incremental digest (Core::archDigest — trustworthy there
+         *  because the master is fault-free). Fork-side compares
+         *  recompute from the fork's materialized archState(). */
+        std::vector<u64> archDigests;
         std::vector<u64> digests;          ///< per segment (== thread)
         bool trapped = false;
         /** True iff every thread finalized at a genuine commit-target
@@ -127,10 +132,10 @@ class GoldenLedger final : public pipeline::CommitObserver
 
     /**
      * Does a frozen fork match this golden checkpoint? Per-thread
-     * ArchState equality plus per-segment digest equality — the
-     * digest-based replacement for archEquals' full-memory sweep.
-     * Digest equality is taken as content equality (an XOR-multiset
-     * collision needs ~2^64 trials; see DESIGN.md).
+     * arch-digest equality plus per-segment memory-digest equality —
+     * the digest-based replacement for archEquals' full-memory sweep
+     * and full-ArchState compare. Digest equality is taken as content
+     * equality (a collision needs ~2^64 trials; see DESIGN.md).
      */
     static bool matches(const Entry &e, const pipeline::Core &fork);
 

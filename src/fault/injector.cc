@@ -43,6 +43,7 @@ drawPlan(const pipeline::Core &core, const InjectionMix &mix, Rng &rng)
             // Datapath-fault emulation: corrupt a just-produced value.
             // If nothing completed near this cycle the strike hits
             // idle logic and is trivially masked.
+            plan.inflightDraw = true;
             auto inflight = core.inflightDestPregs();
             if (inflight.empty()) {
                 plan.target = Target::None;
@@ -54,7 +55,30 @@ drawPlan(const pipeline::Core &core, const InjectionMix &mix, Rng &rng)
                 static_cast<unsigned>(rng.below(core.numPhysRegs()));
         }
     }
+    attributePlan(core, plan);
     return plan;
+}
+
+void
+attributePlan(const pipeline::Core &core, InjectionPlan &plan)
+{
+    switch (plan.target) {
+      case Target::RegFile:
+        plan.faultPc = core.pcOfDestPreg(plan.preg);
+        break;
+      case Target::Lsq: {
+        const unsigned occupied = core.lsqOccupied();
+        plan.faultPc =
+            occupied ? core.pcOfLsqNth(plan.lsqNth % occupied) : 0;
+        break;
+      }
+      case Target::Rename:
+        plan.faultPc = core.nextCommitPcOf(plan.tid);
+        break;
+      case Target::None:
+        plan.faultPc = 0;
+        break;
+    }
 }
 
 bool

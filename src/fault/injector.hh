@@ -43,6 +43,15 @@ struct InjectionPlan
     unsigned arch = 1;
     // Common
     unsigned bit = 0;
+    /** The regfile site was drawn from the in-flight destination pool
+     *  (datapath-fault emulation) rather than uniformly — also set on
+     *  Target::None, which only arises from an empty in-flight pool.
+     *  Stratum labeling; set without consuming RNG. */
+    bool inflightDraw = false;
+    /** PC of the instruction whose value/address/tag the fault lands
+     *  on (0 = no in-flight owner). Root-cause attribution for the
+     *  vulnerability profile; set without consuming RNG. */
+    u64 faultPc = 0;
 };
 
 /** Proportions of faults per structure. */
@@ -60,6 +69,9 @@ struct InjectionMix
 /** Draw a random plan against the current core state. */
 InjectionPlan drawPlan(const pipeline::Core &core, const InjectionMix &mix,
                        Rng &rng);
+
+/** Fill plan.faultPc from the core's current state (no RNG use). */
+void attributePlan(const pipeline::Core &core, InjectionPlan &plan);
 
 /**
  * Apply the flip. Returns false when the plan targets an empty

@@ -30,6 +30,8 @@ packTrialCounters(const CampaignResult &r, u64 (&d)[kTrialCounters])
     d[14] = r.bins.renameUncovered;
     d[15] = r.bins.noTrigger;
     d[16] = r.bins.other;
+    d[17] = r.skippedProvablyMasked;
+    d[18] = r.earlyTerminated;
 }
 
 CampaignResult
@@ -53,7 +55,35 @@ unpackTrialCounters(const u64 (&d)[kTrialCounters])
     r.bins.renameUncovered = d[14];
     r.bins.noTrigger = d[15];
     r.bins.other = d[16];
+    r.skippedProvablyMasked = d[17];
+    r.earlyTerminated = d[18];
     return r;
+}
+
+void
+packTrialMeta(const TrialMeta &m, u64 (&v)[kTrialMetaFields])
+{
+    v[0] = m.stratum;
+    v[1] = m.structure;
+    v[2] = m.bit;
+    v[3] = m.cycleBucket;
+    v[4] = m.flags;
+    v[5] = m.pc;
+    v[6] = m.exitCycle;
+}
+
+TrialMeta
+unpackTrialMeta(const u64 (&v)[kTrialMetaFields])
+{
+    TrialMeta m;
+    m.stratum = static_cast<u32>(v[0]);
+    m.structure = static_cast<u8>(v[1]);
+    m.bit = static_cast<u8>(v[2]);
+    m.cycleBucket = static_cast<u8>(v[3]);
+    m.flags = static_cast<u8>(v[4]);
+    m.pc = v[5];
+    m.exitCycle = v[6];
+    return m;
 }
 
 namespace
@@ -71,11 +101,12 @@ std::string
 headerLine(const CampaignConfig &cfg, const std::string &scheme)
 {
     return csprintf(
-        "{\"fh_trial_journal\": 1, \"scheme\": \"%s\", \"seed\": %llu, "
+        "{\"fh_trial_journal\": 2, \"scheme\": \"%s\", \"seed\": %llu, "
         "\"injections\": %llu, \"window\": %llu, \"warmup\": %llu, "
         "\"min_gap\": %llu, \"max_gap\": %llu, "
         "\"fork_max_cycles\": %llu, \"rename_frac\": %.17g, "
-        "\"lsq_frac\": %.17g, \"inflight_frac\": %.17g}",
+        "\"lsq_frac\": %.17g, \"inflight_frac\": %.17g, "
+        "\"early_stop\": %d, \"ci_target\": %.17g, \"ci_wave\": %llu}",
         scheme.c_str(), static_cast<unsigned long long>(cfg.seed),
         static_cast<unsigned long long>(cfg.injections),
         static_cast<unsigned long long>(cfg.window),
@@ -83,13 +114,17 @@ headerLine(const CampaignConfig &cfg, const std::string &scheme)
         static_cast<unsigned long long>(cfg.minGap),
         static_cast<unsigned long long>(cfg.maxGap),
         static_cast<unsigned long long>(cfg.forkMaxCycles),
-        cfg.mix.renameFrac, cfg.mix.lsqFrac, cfg.mix.inflightFrac);
+        cfg.mix.renameFrac, cfg.mix.lsqFrac, cfg.mix.inflightFrac,
+        cfg.earlyStop ? 1 : 0, cfg.ciTarget,
+        static_cast<unsigned long long>(cfg.ciWave));
 }
 
-/** Parse `{"t": N, "d": [c0, ..., c16]}`; false on any malformation
- *  (a crash-truncated tail line must not be trusted). */
+/** Parse `{"t": N, "d": [c0, ..., c18], "m": [m0, ..., m6]}`; false
+ *  on any malformation (a crash-truncated tail line must not be
+ *  trusted). */
 bool
-parseRecord(const std::string &line, u64 &trial, u64 (&d)[kTrialCounters])
+parseRecord(const std::string &line, u64 &trial, u64 (&d)[kTrialCounters],
+            u64 (&m)[kTrialMetaFields])
 {
     const char *p = line.c_str();
     auto expect = [&](const char *tok) {
@@ -121,7 +156,34 @@ parseRecord(const std::string &line, u64 &trial, u64 (&d)[kTrialCounters])
         if (i + 1 < kTrialCounters && !expect(","))
             return false;
     }
+    if (!expect("]") || !expect(",") || !expect("\"m\":") ||
+        !expect("[")) {
+        return false;
+    }
+    for (size_t i = 0; i < kTrialMetaFields; ++i) {
+        if (!number(m[i]))
+            return false;
+        if (i + 1 < kTrialMetaFields && !expect(","))
+            return false;
+    }
     return expect("]") && expect("}");
+}
+
+/** Write one record line (shared by the prefix rewrite and record). */
+void
+writeRecord(std::FILE *out, u64 trial, const u64 (&d)[kTrialCounters],
+            const u64 (&m)[kTrialMetaFields])
+{
+    std::fprintf(out, "{\"t\": %llu, \"d\": [",
+                 static_cast<unsigned long long>(trial));
+    for (size_t i = 0; i < kTrialCounters; ++i)
+        std::fprintf(out, "%s%llu", i ? ", " : "",
+                     static_cast<unsigned long long>(d[i]));
+    std::fprintf(out, "], \"m\": [");
+    for (size_t i = 0; i < kTrialMetaFields; ++i)
+        std::fprintf(out, "%s%llu", i ? ", " : "",
+                     static_cast<unsigned long long>(m[i]));
+    std::fprintf(out, "]}\n");
 }
 
 } // namespace
@@ -145,15 +207,17 @@ TrialJournal::TrialJournal(const std::string &path,
                          path_.c_str(), line.c_str(), header.c_str());
             }
             u64 d[kTrialCounters];
+            u64 m[kTrialMetaFields];
             u64 trial = 0;
             while (std::getline(in, line)) {
-                if (!parseRecord(line, trial, d) ||
+                if (!parseRecord(line, trial, d, m) ||
                     trial != replayed_.size()) {
                     // Crash-truncated or out-of-order tail: keep the
                     // clean prefix, drop the rest (it re-executes).
                     break;
                 }
                 replayed_.push_back(unpackTrialCounters(d));
+                replayedMeta_.push_back(unpackTrialMeta(m));
             }
         }
         in.close();
@@ -169,13 +233,10 @@ TrialJournal::TrialJournal(const std::string &path,
     std::fprintf(out_, "%s\n", header.c_str());
     for (u64 t = 0; t < replayed_.size(); ++t) {
         u64 d[kTrialCounters];
+        u64 m[kTrialMetaFields];
         packTrialCounters(replayed_[t], d);
-        std::fprintf(out_, "{\"t\": %llu, \"d\": [",
-                     static_cast<unsigned long long>(t));
-        for (size_t i = 0; i < kTrialCounters; ++i)
-            std::fprintf(out_, "%s%llu", i ? ", " : "",
-                         static_cast<unsigned long long>(d[i]));
-        std::fprintf(out_, "]}\n");
+        packTrialMeta(replayedMeta_[t], m);
+        writeRecord(out_, t, d, m);
     }
     std::fflush(out_);
 }
@@ -187,7 +248,8 @@ TrialJournal::~TrialJournal()
 }
 
 void
-TrialJournal::record(u64 trial, const CampaignResult &delta)
+TrialJournal::record(u64 trial, const CampaignResult &delta,
+                     const TrialMeta &meta)
 {
     fh_assert(trial == nextTrial_,
               "journal records must arrive in trial order (got %llu, "
@@ -196,13 +258,10 @@ TrialJournal::record(u64 trial, const CampaignResult &delta)
               static_cast<unsigned long long>(nextTrial_));
     ++nextTrial_;
     u64 d[kTrialCounters];
+    u64 m[kTrialMetaFields];
     packTrialCounters(delta, d);
-    std::fprintf(out_, "{\"t\": %llu, \"d\": [",
-                 static_cast<unsigned long long>(trial));
-    for (size_t i = 0; i < kTrialCounters; ++i)
-        std::fprintf(out_, "%s%llu", i ? ", " : "",
-                     static_cast<unsigned long long>(d[i]));
-    std::fprintf(out_, "]}\n");
+    packTrialMeta(meta, m);
+    writeRecord(out_, trial, d, m);
     // One flush per completed trial: at campaign throughput (~500
     // trials/s) this is noise, and it is exactly the durability the
     // journal exists for.

@@ -7,9 +7,13 @@
  * A paper-scale campaign (15000 injections x 11 workloads x several
  * schemes) runs for hours; an OOM kill or a ^C at trial 14000 must
  * not cost the first 14000 trials. The journal records one JSONL line
- * per *completed* trial — its index and its counter deltas into
- * CampaignResult — written in trial order on the producer thread at
- * merge time and flushed immediately.
+ * per *completed* trial — its index, its counter deltas into
+ * CampaignResult, and its sampling metadata (TrialMeta) — written in
+ * trial order on the producer thread at merge time and flushed
+ * immediately. The metadata makes the record stream self-sufficient
+ * for the statistical engine: a resumed run rebuilds the vulnerability
+ * profile and the CI estimator state from (delta, meta) pairs alone,
+ * so an adaptive campaign resumes to the identical stop wave.
  *
  * Resume is deterministic by construction: everything downstream of
  * the master's advance is a pure function of (seed, trial index), and
@@ -50,7 +54,7 @@ namespace fh::fault
  * partial/replayed markers are deliberately absent: phases were never
  * deterministic, and the markers describe a run, not a trial.
  */
-constexpr size_t kTrialCounters = 17;
+constexpr size_t kTrialCounters = 19;
 
 /** Flatten one trial's counter deltas into record-array order. */
 void packTrialCounters(const CampaignResult &r,
@@ -58,6 +62,19 @@ void packTrialCounters(const CampaignResult &r,
 
 /** Inverse of packTrialCounters (phases/markers zero). */
 CampaignResult unpackTrialCounters(const u64 (&d)[kTrialCounters]);
+
+/**
+ * The sampling metadata serialized per trial, in record-array order:
+ * the journal's "m" array and the dist TRIAL frames carry exactly
+ * this vector next to the counters.
+ */
+constexpr size_t kTrialMetaFields = 7;
+
+/** Flatten one trial's TrialMeta into record-array order. */
+void packTrialMeta(const TrialMeta &m, u64 (&v)[kTrialMetaFields]);
+
+/** Inverse of packTrialMeta (narrow fields truncate to their width). */
+TrialMeta unpackTrialMeta(const u64 (&v)[kTrialMetaFields]);
 
 class TrialJournal
 {
@@ -87,18 +104,26 @@ class TrialJournal
         return replayed_[trial];
     }
 
+    /** Sampling metadata of a journaled trial (trial < replayCount()). */
+    const TrialMeta &replayedMeta(u64 trial) const
+    {
+        return replayedMeta_[trial];
+    }
+
     /**
-     * Append one completed trial's deltas and flush, so the record
-     * survives any later crash. Must be called in trial order,
+     * Append one completed trial's deltas + metadata and flush, so the
+     * record survives any later crash. Must be called in trial order,
      * starting at replayCount().
      */
-    void record(u64 trial, const CampaignResult &delta);
+    void record(u64 trial, const CampaignResult &delta,
+                const TrialMeta &meta);
 
   private:
     std::string path_;
     std::FILE *out_ = nullptr;
     u64 nextTrial_ = 0;
     std::vector<CampaignResult> replayed_;
+    std::vector<TrialMeta> replayedMeta_;
 };
 
 } // namespace fh::fault

@@ -1,0 +1,163 @@
+#include "fault/sampling.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "fault/campaign.hh"
+#include "sim/logging.hh"
+
+namespace fh::fault
+{
+
+WilsonInterval
+wilson(u64 successes, u64 n, double z)
+{
+    if (n == 0)
+        return {0.0, 1.0};
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(successes) / nn;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    WilsonInterval w;
+    w.center = (p + z2 / (2.0 * nn)) / denom;
+    w.halfWidth =
+        z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+    return w;
+}
+
+StratumSpace::StratumSpace(const InjectionMix &mix)
+{
+    const double regFrac = 1.0 - mix.renameFrac - mix.lsqFrac;
+    weights_[0] = mix.renameFrac;
+    for (unsigned g = 0; g < kBitGroups; ++g) {
+        weights_[1 + g] = mix.lsqFrac / kBitGroups;
+        weights_[1 + kBitGroups + g] =
+            regFrac * mix.inflightFrac / kBitGroups;
+        weights_[1 + 2 * kBitGroups + g] =
+            regFrac * (1.0 - mix.inflightFrac) / kBitGroups;
+    }
+}
+
+u32
+StratumSpace::stratumOf(const InjectionPlan &plan)
+{
+    const u32 group = plan.bit / kGroupBits;
+    switch (plan.target) {
+      case Target::Rename:
+        return 0;
+      case Target::Lsq:
+        return 1 + group;
+      case Target::RegFile:
+      case Target::None:
+        // None only arises from an empty in-flight pool, so both label
+        // by the draw kind the mix selected.
+        return 1 + (plan.inflightDraw ? 1 : 2) * kBitGroups + group;
+    }
+    return 0;
+}
+
+InjectionPlan
+StratumSpace::draw(const pipeline::Core &core, unsigned s,
+                   Rng &rng) const
+{
+    fh_assert(s < kCount, "stratum out of range");
+    InjectionPlan plan;
+    if (s == 0) {
+        plan.target = Target::Rename;
+        plan.tid = static_cast<unsigned>(rng.below(core.numThreads()));
+        plan.arch =
+            1 + static_cast<unsigned>(rng.below(isa::numArchRegs - 1));
+        const unsigned tag_bits = static_cast<unsigned>(
+            std::bit_width(core.numPhysRegs() - 1u));
+        plan.bit = static_cast<unsigned>(rng.below(tag_bits));
+    } else if (s < 1 + kBitGroups) {
+        const unsigned group = s - 1;
+        plan.target = Target::Lsq;
+        plan.lsqNth =
+            static_cast<unsigned>(rng.below(core.params().lsqSize));
+        plan.lsqAddrField = rng.chance(0.5);
+        plan.bit = group * kGroupBits +
+                   static_cast<unsigned>(rng.below(kGroupBits));
+    } else if (s < 1 + 2 * kBitGroups) {
+        const unsigned group = s - 1 - kBitGroups;
+        plan.target = Target::RegFile;
+        plan.inflightDraw = true;
+        plan.bit = group * kGroupBits +
+                   static_cast<unsigned>(rng.below(kGroupBits));
+        auto inflight = core.inflightDestPregs();
+        if (inflight.empty())
+            plan.target = Target::None;
+        else
+            plan.preg = inflight[rng.below(inflight.size())];
+    } else {
+        const unsigned group = s - 1 - 2 * kBitGroups;
+        plan.target = Target::RegFile;
+        plan.bit = group * kGroupBits +
+                   static_cast<unsigned>(rng.below(kGroupBits));
+        plan.preg =
+            static_cast<unsigned>(rng.below(core.numPhysRegs()));
+    }
+    attributePlan(core, plan);
+    return plan;
+}
+
+void
+VulnProfile::addTrial(const CampaignResult &delta, const TrialMeta &meta)
+{
+    fh_assert(meta.stratum < StratumSpace::kCount,
+              "trial meta stratum out of range");
+    StratumCounts &s = strata[meta.stratum];
+    s.trials += delta.injected;
+    s.masked += delta.masked;
+    s.noisy += delta.noisy;
+    s.sdc += delta.sdc;
+    s.covered += delta.recovered + delta.detected;
+    s.skippedProvablyMasked += delta.skippedProvablyMasked;
+    s.earlyTerminated += delta.earlyTerminated;
+    if (delta.sdc != 0) {
+        if (meta.structure < kStructures)
+            sdcBits[meta.structure][meta.bit % wordBits] += delta.sdc;
+        sdcPcs[meta.pc] += delta.sdc;
+        sdcCycleBuckets[meta.cycleBucket % kCycleBuckets] += delta.sdc;
+    }
+}
+
+VulnProfile &
+VulnProfile::operator+=(const VulnProfile &other)
+{
+    for (unsigned s = 0; s < StratumSpace::kCount; ++s) {
+        StratumCounts &a = strata[s];
+        const StratumCounts &b = other.strata[s];
+        a.trials += b.trials;
+        a.masked += b.masked;
+        a.noisy += b.noisy;
+        a.sdc += b.sdc;
+        a.covered += b.covered;
+        a.skippedProvablyMasked += b.skippedProvablyMasked;
+        a.earlyTerminated += b.earlyTerminated;
+    }
+    for (unsigned st = 0; st < kStructures; ++st)
+        for (unsigned bit = 0; bit < wordBits; ++bit)
+            sdcBits[st][bit] += other.sdcBits[st][bit];
+    for (const auto &[pc, n] : other.sdcPcs)
+        sdcPcs[pc] += n;
+    for (unsigned b = 0; b < kCycleBuckets; ++b)
+        sdcCycleBuckets[b] += other.sdcCycleBuckets[b];
+    return *this;
+}
+
+double
+pooledSdcHalfWidth(const VulnProfile &profile, const StratumSpace &space,
+                   double z)
+{
+    double sum = 0.0;
+    for (unsigned s = 0; s < StratumSpace::kCount; ++s) {
+        const StratumCounts &c = profile.strata[s];
+        const double hw = wilson(c.sdc, c.trials, z).halfWidth;
+        const double whw = space.weight(s) * hw;
+        sum += whw * whw;
+    }
+    return std::sqrt(sum);
+}
+
+} // namespace fh::fault

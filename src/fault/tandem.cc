@@ -42,10 +42,11 @@ windowTargetsInto(std::vector<u64> &out, const pipeline::Core &base,
 ForkOutcome
 runFork(const pipeline::Core &base, const InjectionPlan *plan,
         bool detector_enabled, const std::vector<u64> &targets,
-        Cycle max_cycles, const ForkDeadline *deadline)
+        Cycle max_cycles, const ForkDeadline *deadline,
+        bool arm_regfile_watch)
 {
     return runFork(pipeline::Core(base), plan, detector_enabled, targets,
-                   max_cycles, deadline);
+                   max_cycles, deadline, arm_regfile_watch);
 }
 
 namespace
@@ -56,10 +57,12 @@ namespace
 void
 runPrepared(ForkOutcome &out, const InjectionPlan *plan,
             bool detector_enabled, const std::vector<u64> &targets,
-            Cycle max_cycles, const ForkDeadline *deadline)
+            Cycle max_cycles, const ForkDeadline *deadline,
+            bool arm_regfile_watch)
 {
     out.reachedTargets = false;
     out.trapped = false;
+    out.earlyMasked = false;
     // The fork is a copy of a (possibly observed) campaign master;
     // the ledger must only ever see the master itself.
     out.core.setCommitObserver(nullptr);
@@ -75,6 +78,10 @@ runPrepared(ForkOutcome &out, const InjectionPlan *plan,
         out.core.threadOptions(tid).stopAfterInsts = targets[tid];
     if (plan)
         apply(out.core, *plan);
+    const bool watching = arm_regfile_watch && plan &&
+                          plan->target == Target::RegFile;
+    if (watching)
+        out.core.armRegfileWatch(plan->preg);
     if (!deadline) {
         out.reachedTargets =
             out.core.runUntilCommitted(targets, max_cycles);
@@ -101,8 +108,15 @@ runPrepared(ForkOutcome &out, const InjectionPlan *plan,
             spent += slice;
             if (!out.reachedTargets && ticked < slice)
                 break; // frozen short of a target: hung, bail now
+            if (watching && out.core.regfileWatchErased())
+                break; // fault erased unread: outcome is decided
         }
     }
+    if (watching) {
+        out.earlyMasked = out.core.regfileWatchErased();
+        out.core.disarmRegfileWatch();
+    }
+    out.exitCycle = out.core.cycle();
     out.trapped = out.core.anyTrap();
 }
 
@@ -111,11 +125,12 @@ runPrepared(ForkOutcome &out, const InjectionPlan *plan,
 ForkOutcome
 runFork(pipeline::Core &&base, const InjectionPlan *plan,
         bool detector_enabled, const std::vector<u64> &targets,
-        Cycle max_cycles, const ForkDeadline *deadline)
+        Cycle max_cycles, const ForkDeadline *deadline,
+        bool arm_regfile_watch)
 {
     ForkOutcome out{std::move(base), false, false};
     runPrepared(out, plan, detector_enabled, targets, max_cycles,
-                deadline);
+                deadline, arm_regfile_watch);
     return out;
 }
 
@@ -123,22 +138,22 @@ void
 runForkInto(ForkOutcome &out, const pipeline::Core &base,
             const InjectionPlan *plan, bool detector_enabled,
             const std::vector<u64> &targets, Cycle max_cycles,
-            const ForkDeadline *deadline)
+            const ForkDeadline *deadline, bool arm_regfile_watch)
 {
     out.core = base;
     runPrepared(out, plan, detector_enabled, targets, max_cycles,
-                deadline);
+                deadline, arm_regfile_watch);
 }
 
 void
 runForkInto(ForkOutcome &out, pipeline::Core &&base,
             const InjectionPlan *plan, bool detector_enabled,
             const std::vector<u64> &targets, Cycle max_cycles,
-            const ForkDeadline *deadline)
+            const ForkDeadline *deadline, bool arm_regfile_watch)
 {
     std::swap(out.core, base);
     runPrepared(out, plan, detector_enabled, targets, max_cycles,
-                deadline);
+                deadline, arm_regfile_watch);
 }
 
 bool

@@ -26,6 +26,13 @@ struct ForkOutcome
     pipeline::Core core;
     bool reachedTargets = false; ///< false = hung within maxCycles
     bool trapped = false;
+    /** Early termination (arm_regfile_watch flavors): the injected
+     *  register value was overwritten without ever being read, so this
+     *  fork is provably equivalent to a fault-free fork of the same
+     *  snapshot — classification is decided without running the
+     *  window out (DESIGN.md "Arch-digest early exit"). */
+    bool earlyMasked = false;
+    Cycle exitCycle = 0; ///< core cycle when the fork run ended
 };
 
 /**
@@ -54,11 +61,16 @@ void windowTargetsInto(std::vector<u64> &out, const pipeline::Core &base,
 /**
  * Copy base, optionally inject plan, optionally enable the detector,
  * and run until the per-thread targets (bounded by max_cycles, and by
- * deadline when non-null).
+ * deadline when non-null). When arm_regfile_watch is set and the plan
+ * is a register-file flip, a fault watch is armed on the flipped
+ * register so the run ends (out.earlyMasked) as soon as the fault is
+ * provably erased — only sound for classification forks whose golden
+ * reference reached its targets without trapping (see DESIGN.md).
  */
 ForkOutcome runFork(const pipeline::Core &base, const InjectionPlan *plan,
                     bool detector_enabled, const std::vector<u64> &targets,
-                    Cycle max_cycles, const ForkDeadline *deadline = nullptr);
+                    Cycle max_cycles, const ForkDeadline *deadline = nullptr,
+                    bool arm_regfile_watch = false);
 
 /**
  * As above, but consume base instead of copying it: the last fork of
@@ -67,7 +79,8 @@ ForkOutcome runFork(const pipeline::Core &base, const InjectionPlan *plan,
  */
 ForkOutcome runFork(pipeline::Core &&base, const InjectionPlan *plan,
                     bool detector_enabled, const std::vector<u64> &targets,
-                    Cycle max_cycles, const ForkDeadline *deadline = nullptr);
+                    Cycle max_cycles, const ForkDeadline *deadline = nullptr,
+                    bool arm_regfile_watch = false);
 
 /**
  * As runFork, but restore the fork state into a caller-owned scratch
@@ -79,7 +92,8 @@ ForkOutcome runFork(pipeline::Core &&base, const InjectionPlan *plan,
 void runForkInto(ForkOutcome &out, const pipeline::Core &base,
                  const InjectionPlan *plan, bool detector_enabled,
                  const std::vector<u64> &targets, Cycle max_cycles,
-                 const ForkDeadline *deadline = nullptr);
+                 const ForkDeadline *deadline = nullptr,
+                 bool arm_regfile_watch = false);
 
 /**
  * Consuming flavor: swaps base's buffers into the scratch (and the
@@ -90,7 +104,8 @@ void runForkInto(ForkOutcome &out, const pipeline::Core &base,
 void runForkInto(ForkOutcome &out, pipeline::Core &&base,
                  const InjectionPlan *plan, bool detector_enabled,
                  const std::vector<u64> &targets, Cycle max_cycles,
-                 const ForkDeadline *deadline = nullptr);
+                 const ForkDeadline *deadline = nullptr,
+                 bool arm_regfile_watch = false);
 
 /**
  * Architectural equivalence: per-thread registers, commit PCs, halt

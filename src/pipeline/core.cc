@@ -174,6 +174,8 @@ Core::Core(const CoreParams &params, const isa::Program *prog)
         renames_[tid].init(map);
         threads_[tid].oracle = init;
     }
+    for (unsigned tid = 0; tid < nt; ++tid)
+        threads_[tid].archDigest = isa::archStateDigest(archState(tid));
 }
 
 // NOTE: the copy ctor and copy-assignment below must list / assign
@@ -194,6 +196,7 @@ Core::Core(const Core &other)
       detectorEnabled_(other.detectorEnabled_),
       faultDetected_(other.faultDetected_),
       quiesceFrozen_(other.quiesceFrozen_),
+      stopOnWatchErased_(other.stopOnWatchErased_),
       observer_(other.observer_),
       arena_(other.arena_),
       regfile_(other.regfile_),
@@ -232,6 +235,7 @@ Core::operator=(const Core &other)
     detectorEnabled_ = other.detectorEnabled_;
     faultDetected_ = other.faultDetected_;
     quiesceFrozen_ = other.quiesceFrozen_;
+    stopOnWatchErased_ = other.stopOnWatchErased_;
     observer_ = other.observer_;
     arena_ = other.arena_;
     regfile_ = other.regfile_;
@@ -413,6 +417,8 @@ Core::runUntilCommitted(const std::vector<u64> &targets, Cycle max_cycles)
     for (;;) {
         if (done())
             return true; // return before ticking: no post-freeze cycles
+        if (stopOnWatchErased_ && regfile_.watchErased())
+            return done(); // fault erased unread: outcome is decided
         if (all_frozen())
             return done(); // frozen short of a target: hung, bail now
         if (cycle_ >= end)
@@ -564,6 +570,7 @@ Core::tryCommitHead(unsigned tid)
     if (e.trap != isa::Trap::None) {
         ts.trap = e.trap;
         ts.halted = true;
+        ts.archDigest ^= isa::kDigestHaltedSalt;
         squashAllOf(tid);
         if (observer_)
             observer_->onThreadHalted(*this, tid);
@@ -577,6 +584,7 @@ Core::tryCommitHead(unsigned tid)
                           ? isa::Trap::MemUnmapped
                           : isa::Trap::MemMisaligned;
             ts.halted = true;
+            ts.archDigest ^= isa::kDigestHaltedSalt;
             squashAllOf(tid);
             if (observer_)
                 observer_->onThreadHalted(*this, tid);
@@ -585,6 +593,15 @@ Core::tryCommitHead(unsigned tid)
     }
 
     if (e.destPreg != invalidPreg) {
+        // O(1) arch-digest maintenance: arch register rd moves from
+        // the current retire mapping's value to the new one. peek()
+        // (not read()) — this is metadata, not dataflow, and must not
+        // consume a fork's fault watch.
+        const unsigned rd = e.inst.rd;
+        ts.archDigest ^=
+            isa::digestRegTerm(rd,
+                               regfile_.peek(renames_[tid].retire(rd))) ^
+            isa::digestRegTerm(rd, regfile_.peek(e.destPreg));
         renames_[tid].commit(e.inst.rd, e.destPreg);
         if (e.oldPreg != invalidPreg) {
             regfile_.release(e.oldPreg);
@@ -596,10 +613,14 @@ Core::tryCommitHead(unsigned tid)
         }
     }
 
-    if (isa::isBranch(e.inst.op))
-        ts.nextCommitPc = e.usedTaken ? e.inst.target : e.pc + 1;
-    else
-        ts.nextCommitPc = e.pc + 1;
+    {
+        const u64 new_pc = isa::isBranch(e.inst.op)
+                               ? (e.usedTaken ? e.inst.target : e.pc + 1)
+                               : e.pc + 1;
+        ts.archDigest ^= isa::digestPcTerm(ts.nextCommitPc) ^
+                         isa::digestPcTerm(new_pc);
+        ts.nextCommitPc = new_pc;
+    }
 
     if (occupiesIq(h))
         --iqCount_;
@@ -621,6 +642,7 @@ Core::tryCommitHead(unsigned tid)
     if (was_halt ||
         (ts.opts.maxInsts != 0 && ts.committed >= ts.opts.maxInsts)) {
         ts.halted = true;
+        ts.archDigest ^= isa::kDigestHaltedSalt;
         squashAllOf(tid);
         if (observer_) {
             observer_->onCommit(*this, tid);
@@ -1799,6 +1821,41 @@ Core::injectLsqBit(unsigned nth, bool addr_field, unsigned bit)
         }
     }
     return false;
+}
+
+u64
+Core::pcOfDestPreg(unsigned preg) const
+{
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        const Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            const unsigned slot = rob.slotAt(i);
+            if (rob.hot(slot).valid &&
+                rob.cold(slot).destPreg == preg) {
+                return rob.cold(slot).pc;
+            }
+        }
+    }
+    return 0;
+}
+
+u64
+Core::pcOfLsqNth(unsigned nth) const
+{
+    unsigned n = 0;
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        const Rob &rob = robs_[tid];
+        for (unsigned i = 0; i < rob.size(); ++i) {
+            const unsigned slot = rob.slotAt(i);
+            const RobHot &h = rob.hot(slot);
+            const RobCold &e = rob.cold(slot);
+            if (!h.valid || !(h.isLoad || h.isStore) || !e.addrValid)
+                continue;
+            if (n++ == nth)
+                return e.pc;
+        }
+    }
+    return 0;
 }
 
 void

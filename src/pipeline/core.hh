@@ -213,6 +213,20 @@ class Core
     /** Architectural view of one thread (retirement map + next pc). */
     isa::ArchState archState(unsigned tid) const;
 
+    /**
+     * O(1)-maintained digest of archState(tid), updated at commit /
+     * halt (DESIGN.md "Arch-digest early exit"). Equals
+     * isa::archStateDigest(archState(tid)) on any fault-free core; on
+     * a faulty fork the incremental value can go stale (a corrupted
+     * free list may rewrite a retire-mapped register without a
+     * commit), so fork-side compares must recompute from archState()
+     * instead of reading this.
+     */
+    u64 archDigest(unsigned tid) const
+    {
+        return threads_[tid].archDigest;
+    }
+
     const CoreParams &params() const { return params_; }
     unsigned numThreads() const
     {
@@ -292,6 +306,38 @@ class Core
     /** Flip one bit of a speculative rename-map entry. */
     void injectRenameBit(unsigned tid, unsigned arch, unsigned bit);
 
+    /**
+     * Fault watch (campaign early termination): after injecting a
+     * register-file flip, arm a watch on the register. runUntilCommitted
+     * returns as soon as the regfile reports the watched value was
+     * overwritten without ever being read — the fork is then provably
+     * equivalent to a fault-free fork (see PhysRegFile::armWatch).
+     */
+    void armRegfileWatch(unsigned preg)
+    {
+        regfile_.armWatch(preg);
+        stopOnWatchErased_ = true;
+    }
+    void disarmRegfileWatch()
+    {
+        regfile_.disarmWatch();
+        stopOnWatchErased_ = false;
+    }
+    bool regfileWatchErased() const { return regfile_.watchErased(); }
+
+    // ---- Injection-site attribution (vulnerability profiles) ----
+
+    /** PC of the in-flight instruction producing preg (0 if none). */
+    u64 pcOfDestPreg(unsigned preg) const;
+    /** PC of the nth occupied LSQ entry, in injectLsqBit() order
+     *  (0 if fewer than nth+1 entries are occupied). */
+    u64 pcOfLsqNth(unsigned nth) const;
+    /** Next-to-commit PC of one thread (rename-fault attribution). */
+    u64 nextCommitPcOf(unsigned tid) const
+    {
+        return threads_[tid].nextCommitPc;
+    }
+
     /** Read-only ROB access for tests and debugging probes. */
     const Rob &rob(unsigned tid) const { return robs_[tid]; }
 
@@ -335,6 +381,10 @@ class Core
         RingView<u32> storeList;   ///< in-flight store slots
         ThreadOptions opts;
         isa::ArchState oracle; ///< fetch-time oracle (oracleFetch)
+        /// Incremental isa::archStateDigest of this thread; maintained
+        /// at commit/halt, trustworthy on fault-free cores only (see
+        /// Core::archDigest).
+        u64 archDigest = 0;
     };
 
     /** One age-ordered scan element of the issue/complete stages. */
@@ -463,6 +513,9 @@ class Core
     bool detectorEnabled_ = true;
     bool faultDetected_ = false;
     bool quiesceFrozen_ = false;
+    /// runUntilCommitted returns early once the regfile fault watch
+    /// reports erasure (campaign early termination; armRegfileWatch).
+    bool stopOnWatchErased_ = false;
     CommitObserver *observer_ = nullptr;
 
     /** Flat backing for all per-cycle pipeline state; every view

@@ -29,6 +29,8 @@ PhysRegFile::operator=(const PhysRegFile &other)
         return *this;
     numRegs_ = other.numRegs_;
     freeCount_ = other.freeCount_;
+    watchPreg_ = other.watchPreg_;
+    watchErased_ = other.watchErased_;
     if (other.own_.empty()) {
         // Arena mode: adopt the source pointers; the owning Core
         // shifts them onto its own arena right after the member copy.
@@ -77,6 +79,9 @@ void
 PhysRegFile::resetFreeList(const std::vector<bool> &live)
 {
     fh_assert(live.size() == numRegs_, "liveness size mismatch");
+    // Bulk free-list rebuild (recovery path): conservatively drop the
+    // fault watch without claiming erasure.
+    watchPreg_ = kNoWatch;
     freeCount_ = 0;
     for (unsigned preg = 0; preg < numRegs_; ++preg) {
         free_[preg] = live[preg] ? 0 : 1;
@@ -99,6 +104,14 @@ PhysRegFile::release(unsigned preg)
         // done by the *live* register that never gets freed / gets
         // freed early elsewhere.
         return;
+    }
+    // A watched register freed before any read was consumed is dead on
+    // arrival: the producer slot it corrupted can only be rewritten
+    // (allocate() clears ready; consumers of the new mapping wait for
+    // the full-word producer write).
+    if (preg == watchPreg_) {
+        watchPreg_ = kNoWatch;
+        watchErased_ = true;
     }
     free_[preg] = 1;
     ready_[preg] = 1;

@@ -62,8 +62,20 @@ class PhysRegFile
 
     unsigned size() const { return numRegs_; }
 
-    u64 read(unsigned preg) const { return values_[preg]; }
+    u64 read(unsigned preg) const
+    {
+        // Fault-watch consumption: any value read of the watched
+        // register means the (possibly corrupted) value escaped into
+        // the dataflow — stop watching, no erasure claim.
+        if (preg == watchPreg_)
+            watchPreg_ = kNoWatch;
+        return values_[preg];
+    }
     bool ready(unsigned preg) const { return ready_[preg] != 0; }
+
+    /** Watch-transparent read for metadata (digest maintenance): not a
+     *  dataflow consumption, so it must not disarm the fault watch. */
+    u64 peek(unsigned preg) const { return values_[preg]; }
 
     // Wakeup contract (Core's event-driven issue mode): every call
     // that can flip a ready bit 0->1 — write(), release(),
@@ -75,6 +87,12 @@ class PhysRegFile
 
     void write(unsigned preg, u64 value)
     {
+        // Full-word producer write before any consumption: the watched
+        // fault is erased from the machine.
+        if (preg == watchPreg_) {
+            watchPreg_ = kNoWatch;
+            watchErased_ = true;
+        }
         values_[preg] = value;
         ready_[preg] = 1;
     }
@@ -97,6 +115,28 @@ class PhysRegFile
     }
 
     /**
+     * Fault watch (campaign early termination, DESIGN.md "Arch-digest
+     * early exit"): watch one register after a fault flip. If the
+     * register is overwritten — producer write() of a reallocation, or
+     * release() on squash / dead-on-arrival — before any read()
+     * consumed it, the fault provably never escaped: watchErased()
+     * turns true and the fork is equivalent to a fault-free fork. A
+     * read() of the watched register silently disarms the watch (the
+     * value escaped; no claim either way).
+     */
+    void armWatch(unsigned preg)
+    {
+        watchPreg_ = preg;
+        watchErased_ = false;
+    }
+    void disarmWatch()
+    {
+        watchPreg_ = kNoWatch;
+        watchErased_ = false;
+    }
+    bool watchErased() const { return watchErased_; }
+
+    /**
      * Rebuild the free list from a liveness bitmap (map-based recovery
      * at a full rollback): every register not marked live becomes
      * free. Repairs free-list corruption left by faulty rename tags,
@@ -105,12 +145,18 @@ class PhysRegFile
     void resetFreeList(const std::vector<bool> &live);
 
   private:
+    static constexpr u32 kNoWatch = ~u32(0);
+
     u64 *values_ = nullptr;
     u8 *ready_ = nullptr;
     u8 *free_ = nullptr;
     u32 *freeStack_ = nullptr; ///< LIFO of free pregs; freeCount_ deep
     unsigned numRegs_ = 0;
     unsigned freeCount_ = 0;
+    /// Fault-watched register; mutable so the const read() hot path
+    /// can disarm on consumption with a single compare.
+    mutable u32 watchPreg_ = kNoWatch;
+    bool watchErased_ = false;
     std::vector<std::byte> own_; ///< standalone-mode backing (else empty)
 };
 

@@ -80,6 +80,11 @@ expectIdentical(const fault::CampaignResult &a,
     EXPECT_EQ(a.trialErrors, b.trialErrors);
     EXPECT_EQ(a.hungBare, b.hungBare);
     EXPECT_EQ(a.hungProtected, b.hungProtected);
+    EXPECT_EQ(a.skippedProvablyMasked, b.skippedProvablyMasked);
+    EXPECT_EQ(a.earlyTerminated, b.earlyTerminated);
+    // The vulnerability profile is rebuilt record-by-record on the
+    // coordinator; it must merge to the single-process bytes.
+    EXPECT_EQ(a.profile, b.profile);
     EXPECT_EQ(a.bins.covered, b.bins.covered);
     EXPECT_EQ(a.bins.secondLevelMasked, b.bins.secondLevelMasked);
     EXPECT_EQ(a.bins.completedReg, b.bins.completedReg);
@@ -181,10 +186,12 @@ spawnSabotagedWorker(const dist::Endpoint &ep, u64 goodTrials)
         u64 sent = 0;
         session.runRange(
             a.begin, a.end,
-            [&](u64 trial, const fault::CampaignResult &delta) {
+            [&](u64 trial, const fault::CampaignResult &delta,
+                const fault::TrialMeta &meta) {
                 dist::TrialMsg t;
                 t.trial = trial;
                 fault::packTrialCounters(delta, t.d);
+                fault::packTrialMeta(meta, t.m);
                 const auto frame = dist::encodeFrame(
                     dist::MsgType::Trial, t.encode());
                 if (sent < goodTrials) {

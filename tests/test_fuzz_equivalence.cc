@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "exec/thread_pool.hh"
+#include "fault/campaign.hh"
 #include "fault/injector.hh"
 #include "fault/tandem.hh"
 #include "isa/functional.hh"
@@ -435,3 +436,96 @@ INSTANTIATE_TEST_SUITE_P(PoolWidths, ScanOracleEquivalence,
                          [](const testing::TestParamInfo<unsigned> &i) {
                              return "threads" + std::to_string(i.param);
                          });
+
+namespace
+{
+
+struct EarlyStopCase
+{
+    u64 seed;
+    bool goldenFork;
+};
+
+class EarlyStopEquivalence : public testing::TestWithParam<EarlyStopCase>
+{
+};
+
+} // namespace
+
+/**
+ * Arch-digest early termination must be classification-invariant: a
+ * bare fork is cut short only when its injected fault was provably
+ * erased (fault-watch disarm before any read), which implies the fork
+ * is bit-equivalent to a fault-free run — masked. Fuzz whole campaigns
+ * over random programs with early stop forced on and off: every
+ * classification counter, the SDC bins, and the per-stratum profile
+ * rows must be identical. Only the earlyTerminated diagnostic (and the
+ * trials' exit cycles, which no counter reads) may differ. Runs in
+ * both golden modes so the forked-golden and checkpoint-ledger arming
+ * conditions are each exercised.
+ */
+TEST_P(EarlyStopEquivalence, ClassificationIdentical)
+{
+    const auto &c = GetParam();
+    Program prog = randomProgram(c.seed, 100'000);
+
+    pipeline::CoreParams params;
+    params.detector = filters::DetectorParams::faultHound();
+
+    fault::CampaignConfig cfg;
+    cfg.injections = 80;
+    cfg.window = 200;
+    cfg.seed = c.seed;
+    cfg.threads = 2;
+    cfg.forceGoldenFork = c.goldenFork;
+
+    cfg.earlyStop = true;
+    const fault::CampaignResult on =
+        fault::runCampaign(params, &prog, cfg);
+    cfg.earlyStop = false;
+    const fault::CampaignResult off =
+        fault::runCampaign(params, &prog, cfg);
+
+    EXPECT_EQ(off.earlyTerminated, 0u);
+    EXPECT_EQ(on.injected, off.injected);
+    EXPECT_EQ(on.masked, off.masked);
+    EXPECT_EQ(on.noisy, off.noisy);
+    EXPECT_EQ(on.sdc, off.sdc);
+    EXPECT_EQ(on.recovered, off.recovered);
+    EXPECT_EQ(on.detected, off.detected);
+    EXPECT_EQ(on.uncovered, off.uncovered);
+    EXPECT_EQ(on.trialErrors, off.trialErrors);
+    EXPECT_EQ(on.hungBare, off.hungBare);
+    EXPECT_EQ(on.hungProtected, off.hungProtected);
+    EXPECT_EQ(on.skippedProvablyMasked, off.skippedProvablyMasked);
+    EXPECT_EQ(on.bins.covered, off.bins.covered);
+    EXPECT_EQ(on.bins.secondLevelMasked, off.bins.secondLevelMasked);
+    EXPECT_EQ(on.bins.completedReg, off.bins.completedReg);
+    EXPECT_EQ(on.bins.archReg, off.bins.archReg);
+    EXPECT_EQ(on.bins.renameUncovered, off.bins.renameUncovered);
+    EXPECT_EQ(on.bins.noTrigger, off.bins.noTrigger);
+    EXPECT_EQ(on.bins.other, off.bins.other);
+    for (unsigned s = 0; s < fault::StratumSpace::kCount; ++s) {
+        const fault::StratumCounts &a = on.profile.strata[s];
+        const fault::StratumCounts &b = off.profile.strata[s];
+        EXPECT_EQ(a.trials, b.trials) << "stratum " << s;
+        EXPECT_EQ(a.masked, b.masked) << "stratum " << s;
+        EXPECT_EQ(a.noisy, b.noisy) << "stratum " << s;
+        EXPECT_EQ(a.sdc, b.sdc) << "stratum " << s;
+        EXPECT_EQ(a.covered, b.covered) << "stratum " << s;
+        EXPECT_EQ(a.skippedProvablyMasked, b.skippedProvablyMasked)
+            << "stratum " << s;
+    }
+    EXPECT_EQ(on.profile.sdcBits, off.profile.sdcBits);
+    EXPECT_EQ(on.profile.sdcPcs, off.profile.sdcPcs);
+    EXPECT_EQ(on.profile.sdcCycleBuckets, off.profile.sdcCycleBuckets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Campaigns, EarlyStopEquivalence,
+    testing::Values(EarlyStopCase{7, false}, EarlyStopCase{7, true},
+                    EarlyStopCase{19, false}),
+    [](const testing::TestParamInfo<EarlyStopCase> &i) {
+        return "seed" + std::to_string(i.param.seed) +
+               (i.param.goldenFork ? "_forked" : "_ledger");
+    });

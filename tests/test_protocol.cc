@@ -180,11 +180,23 @@ TEST(Messages, RoundTrips)
     trial.trial = 7;
     for (size_t i = 0; i < fault::kTrialCounters; ++i)
         trial.d[i] = i * i;
+    fault::TrialMeta meta;
+    meta.stratum = 11;
+    meta.structure = 2;
+    meta.bit = 63;
+    meta.cycleBucket = 5;
+    meta.flags = fault::kMetaEarlyTerminated;
+    meta.pc = 0xdeadbeefcafeULL;
+    meta.exitCycle = 123456789;
+    fault::packTrialMeta(meta, trial.m);
     TrialMsg trial2;
     ASSERT_TRUE(TrialMsg::decode(trial.encode(), trial2));
     EXPECT_EQ(trial2.trial, 7u);
     for (size_t i = 0; i < fault::kTrialCounters; ++i)
         EXPECT_EQ(trial2.d[i], i * i);
+    // The v2 meta tail survives the wire verbatim: profile and CI
+    // state on the coordinator are rebuilt from exactly these fields.
+    EXPECT_EQ(fault::unpackTrialMeta(trial2.m), meta);
 
     RangeDoneMsg done{55, true, false};
     RangeDoneMsg done2;
@@ -206,6 +218,27 @@ TEST(Messages, RejectMalformedPayloads)
     EXPECT_FALSE(HelloMsg::decode({1, 2, 3}, hello));
     TrialMsg trial;
     EXPECT_FALSE(TrialMsg::decode({0, 0, 0}, trial));
+    // Every truncation of a full Trial payload is rejected — in
+    // particular the v1 length (counters but no meta tail), so a
+    // version-skewed peer cannot slip records past the decoder.
+    {
+        TrialMsg full;
+        full.trial = 9;
+        const auto payload = full.encode();
+        for (size_t cut = 0; cut < payload.size(); ++cut) {
+            TrialMsg out;
+            EXPECT_FALSE(TrialMsg::decode(
+                std::vector<u8>(payload.begin(),
+                                payload.begin() +
+                                    static_cast<long>(cut)),
+                out))
+                << "cut at " << cut;
+        }
+        TrialMsg out;
+        auto extra = payload;
+        extra.push_back(0);
+        EXPECT_FALSE(TrialMsg::decode(extra, out));
+    }
     // Trailing garbage is as bad as missing bytes.
     AssignMsg assign{1, 2};
     auto p = assign.encode();
@@ -256,6 +289,9 @@ TEST(CampaignSpec, RoundTrip)
     spec.campaign.mix.renameFrac = 0.25;
     spec.campaign.forceGoldenFork = true;
     spec.campaign.trialTimeoutMs = 1500;
+    spec.campaign.earlyStop = false;
+    spec.campaign.ciTarget = 0.015625;
+    spec.campaign.ciWave = 96;
 
     CampaignSpec out;
     std::string error;
@@ -273,6 +309,9 @@ TEST(CampaignSpec, RoundTrip)
     EXPECT_EQ(out.campaign.mix.renameFrac, 0.25);
     EXPECT_TRUE(out.campaign.forceGoldenFork);
     EXPECT_EQ(out.campaign.trialTimeoutMs, 1500u);
+    EXPECT_FALSE(out.campaign.earlyStop);
+    EXPECT_EQ(out.campaign.ciTarget, 0.015625);
+    EXPECT_EQ(out.campaign.ciWave, 96u);
     // Canonical: re-encoding the decoded spec reproduces the text.
     EXPECT_EQ(out.encode(), spec.encode());
 }
