@@ -118,8 +118,8 @@ declareAllKeys(const Config &cfg)
                    "(\"-\" = stdout)");
     // Distributed fabric.
     cfg.declareKey("listen",
-                   "serve mode: coordinator endpoint, host:port or "
-                   "unix:/path (port 0 = ephemeral)");
+                   "serve/dispatch mode: coordinator endpoint, "
+                   "host:port or unix:/path (port 0 = ephemeral)");
     cfg.declareKey("workers",
                    "serve mode: expected worker count, sizes the "
                    "lease chunks (default 1)");
@@ -127,7 +127,10 @@ declareAllKeys(const Config &cfg)
                    "trials per range lease; 0 = auto (~4 per worker)");
     cfg.declareKey("lease_timeout_ms",
                    "heartbeat silence before a worker's lease is "
-                   "re-issued (default 10000)");
+                   "re-issued (default 10000; env FH_LEASE_TIMEOUT_MS)");
+    cfg.declareKey("heartbeat_ms",
+                   "worker liveness heartbeat period (default 300; "
+                   "env FH_HEARTBEAT_MS)");
     cfg.declareKey("worker_jobs",
                    "dispatch mode: fork-execution threads per worker "
                    "process (default 1)");
@@ -220,6 +223,24 @@ specFromConfig(const Config &cfg)
     return spec;
 }
 
+/** Env-mirrored u64 default: the config key wins, then the env var,
+ *  then the built-in — so chaos/slow CI hosts can retune the fabric's
+ *  timing knobs fleet-wide without touching every invocation. */
+u64
+u64FromEnv(const char *env, u64 def)
+{
+    const char *v = std::getenv(env);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+        fh_warn("ignoring malformed %s='%s'", env, v);
+        return def;
+    }
+    return parsed;
+}
+
 std::string
 journalPathFromConfig(const Config &cfg)
 {
@@ -247,7 +268,8 @@ int
 emitCampaignOutputs(const Config &cfg, const std::string &bench,
                     unsigned workers,
                     const fault::CampaignConfig &ccfg,
-                    const fault::CampaignResult &r, double seconds)
+                    const fault::CampaignResult &r, double seconds,
+                    const fault::FabricHealth *fabric = nullptr)
 {
     std::printf("%-34s%-16.4f# fraction of injections\n",
                 "campaign.masked", r.maskedFrac());
@@ -372,7 +394,7 @@ emitCampaignOutputs(const Config &cfg, const std::string &bench,
     const std::string json = jsonPathFromConfig(cfg);
     if (!json.empty())
         fault::writeCampaignJson(json, bench, workers, ccfg, r,
-                                 seconds);
+                                 seconds, fabric);
     if (r.partial) {
         std::fprintf(stderr,
                      "fhsim: campaign interrupted after %llu "
@@ -413,12 +435,26 @@ runCoordinator(const Config &cfg, dist::Coordinator &coord,
     const dist::DistStats &ds = coord.stats();
     std::fprintf(stderr,
                  "fhsim: fabric — %u worker(s) joined, %u died, "
-                 "%llu lease(s) issued, %llu re-issued\n",
+                 "%llu lease(s) issued, %llu re-issued, %llu crc "
+                 "error(s), %llu reconnect(s), %llu quarantine(s)%s\n",
                  ds.workersJoined, ds.workersDied,
                  static_cast<unsigned long long>(ds.rangesIssued),
-                 static_cast<unsigned long long>(ds.rangesReissued));
+                 static_cast<unsigned long long>(ds.rangesReissued),
+                 static_cast<unsigned long long>(ds.crcErrors),
+                 static_cast<unsigned long long>(ds.reconnects),
+                 static_cast<unsigned long long>(ds.quarantined),
+                 ds.degraded ? ", DEGRADED to in-process tail" : "");
+    fault::FabricHealth health;
+    health.workersJoined = ds.workersJoined;
+    health.workersDied = ds.workersDied;
+    health.crcErrors = ds.crcErrors;
+    health.reconnects = ds.reconnects;
+    health.rangesIssued = ds.rangesIssued;
+    health.rangesReissued = ds.rangesReissued;
+    health.quarantined = ds.quarantined;
+    health.degraded = ds.degraded;
     return emitCampaignOutputs(cfg, spec.bench, workers, ccfg, r,
-                               seconds);
+                               seconds, &health);
 }
 
 int
@@ -447,8 +483,17 @@ cmdDispatch(int argc, char **argv)
     dist::CoordinatorOptions copts;
     copts.workers = jobs;
     copts.chunk = cfg.getU64("chunk", 0);
-    copts.leaseTimeoutMs = cfg.getU64("lease_timeout_ms", 10000);
+    copts.leaseTimeoutMs = cfg.getU64(
+        "lease_timeout_ms", u64FromEnv("FH_LEASE_TIMEOUT_MS", 10000));
     copts.progress = &meter;
+    std::string error;
+    if (!dist::parseEndpoint(cfg.getString("listen", "127.0.0.1:0"),
+                             copts.listen, error)) {
+        std::fprintf(stderr, "fhsim: %s\n", error.c_str());
+        return 1;
+    }
+    const u64 heartbeatMs = cfg.getU64(
+        "heartbeat_ms", u64FromEnv("FH_HEARTBEAT_MS", 300));
     dist::Coordinator coord(spec, copts);
 
     const std::string exe = dist::selfExe();
@@ -461,13 +506,18 @@ cmdDispatch(int argc, char **argv)
     for (unsigned i = 0; i < jobs; ++i) {
         const pid_t pid = dist::spawnExec(
             {exe, "worker", coord.endpoint().str(),
-             "jobs=" + std::to_string(workerJobs)});
+             "jobs=" + std::to_string(workerJobs),
+             "heartbeat_ms=" + std::to_string(heartbeatMs)});
         if (pid < 0) {
             std::fprintf(stderr, "fhsim: worker spawn failed\n");
             return 1;
         }
         pids.push_back(pid);
         coord.addChild(pid);
+        // Guard against the no-RAII death paths (fh_fatal exits,
+        // FH_STRICT panics abort): whatever kills this process must
+        // not orphan the workers.
+        dist::ChildGuard::add(pid);
     }
     std::fprintf(stderr,
                  "fhsim: dispatching %llu injections to %u worker "
@@ -480,8 +530,10 @@ cmdDispatch(int argc, char **argv)
     meter.finish();
     // The coordinator closed every socket; workers exit on their own.
     // Reap them all — dispatch never leaves orphans.
-    for (pid_t pid : pids)
+    for (pid_t pid : pids) {
         dist::reap(pid);
+        dist::ChildGuard::remove(pid);
+    }
     return rc;
 }
 
@@ -515,7 +567,8 @@ cmdServe(int argc, char **argv)
     copts.workers = static_cast<unsigned>(
         std::max<u64>(1, cfg.getU64("workers", 1)));
     copts.chunk = cfg.getU64("chunk", 0);
-    copts.leaseTimeoutMs = cfg.getU64("lease_timeout_ms", 10000);
+    copts.leaseTimeoutMs = cfg.getU64(
+        "lease_timeout_ms", u64FromEnv("FH_LEASE_TIMEOUT_MS", 10000));
     copts.progress = &meter;
     dist::Coordinator coord(spec, copts);
     std::fprintf(stderr,
@@ -553,6 +606,8 @@ cmdWorker(int argc, char **argv)
         return 1;
     }
     wopts.jobs = static_cast<unsigned>(cfg.getU64("jobs", 1));
+    wopts.heartbeatMs = cfg.getU64(
+        "heartbeat_ms", u64FromEnv("FH_HEARTBEAT_MS", 300));
     return dist::runWorker(wopts);
 }
 

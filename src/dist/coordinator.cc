@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "dist/chaos.hh"
 #include "dist/messages.hh"
 #include "exec/interrupt.hh"
 #include "exec/progress.hh"
@@ -22,6 +23,7 @@ Coordinator::Coordinator(const CampaignSpec &spec,
     : spec_(spec), opts_(opts), listen_(opts.listen),
       strata_(spec.campaign.mix)
 {
+    chaos::reload();
     std::string error;
     listenFd_ = listenOn(listen_, error);
     if (listenFd_ < 0)
@@ -34,9 +36,9 @@ Coordinator::~Coordinator()
 {
     for (auto &c : conns_)
         if (c.fd >= 0)
-            ::close(c.fd);
+            closeFabricFd(c.fd);
     if (listenFd_ >= 0)
-        ::close(listenFd_);
+        closeFabricFd(listenFd_);
     if (listen_.unixDomain)
         ::unlink(listen_.host.c_str());
 }
@@ -162,9 +164,10 @@ Coordinator::dropConn(Conn &c, const char *why)
 {
     if (c.fd < 0)
         return;
+    stats_.crcErrors += c.reader.crcErrors();
     fh_warn("coordinator: worker %llu dropped (%s)",
             static_cast<unsigned long long>(c.pid), why);
-    ::close(c.fd);
+    closeFabricFd(c.fd);
     c.fd = -1;
     ++stats_.workersDied;
     if (c.hasLease) {
@@ -175,6 +178,22 @@ Coordinator::dropConn(Conn &c, const char *why)
         if (!shuttingDown_) {
             requeue({c.leaseNext, c.lease.end});
             ++stats_.rangesReissued;
+            // Strike the pid, not the connection: a worker that keeps
+            // losing leases (flapping link, sick host) gets benched so
+            // healthy workers stop paying the re-execution tax.
+            Strikes &q = quarantine_[c.pid];
+            if (++q.strikes >= opts_.quarantineStrikes) {
+                q.strikes = 0;
+                q.until = Clock::now() +
+                          std::chrono::milliseconds(
+                              opts_.quarantineCooloffMs);
+                ++stats_.quarantined;
+                fh_warn("coordinator: worker %llu quarantined for "
+                        "%llu ms after repeated lease failures",
+                        static_cast<unsigned long long>(c.pid),
+                        static_cast<unsigned long long>(
+                            opts_.quarantineCooloffMs));
+            }
         }
     }
 }
@@ -187,7 +206,14 @@ Coordinator::handleFrame(Conn &c, const Frame &f)
         HelloMsg hello;
         if (!HelloMsg::decode(f.payload, hello) || c.helloed)
             return false;
-        if (hello.version != kProtocolVersion) {
+        // Explicit verdict either way: a refused worker learns *why*
+        // it can never join (version skew) instead of watching its
+        // connection die and retrying forever.
+        HelloAckMsg ack;
+        ack.accepted = hello.version == kProtocolVersion;
+        if (!sendFrame(c.fd, MsgType::HelloAck, ack.encode()))
+            return false;
+        if (!ack.accepted) {
             fh_warn("coordinator: worker speaks protocol %u, want %u",
                     hello.version, kProtocolVersion);
             return false;
@@ -195,6 +221,8 @@ Coordinator::handleFrame(Conn &c, const Frame &f)
         c.helloed = true;
         c.pid = hello.pid;
         ++stats_.workersJoined;
+        if (hello.reconnect > 0)
+            ++stats_.reconnects;
         SpecMsg spec;
         spec.text = spec_.encode();
         if (!sendFrame(c.fd, MsgType::Spec, spec.encode()))
@@ -219,6 +247,7 @@ Coordinator::handleFrame(Conn &c, const Frame &f)
         RangeDoneMsg done;
         if (!RangeDoneMsg::decode(f.payload, done) || !c.hasLease)
             return false;
+        quarantine_.erase(c.pid); // a finished lease clears strikes
         if (done.halted) {
             // The workload can run out during the skip-advance before
             // the lease's first trial, so the halt point may land
@@ -269,7 +298,9 @@ Coordinator::readFrom(Conn &c)
                 }
             }
             if (c.reader.corrupt()) {
-                dropConn(c, "corrupt stream");
+                dropConn(c, c.reader.crcErrors() > 0
+                                ? "crc mismatch"
+                                : "corrupt stream");
                 return;
             }
             continue;
@@ -294,6 +325,7 @@ Coordinator::acceptNew()
         if (fd < 0)
             return;
         ::fcntl(fd, F_SETFL, O_NONBLOCK);
+        adoptFabricFd(fd);
         Conn c;
         c.fd = fd;
         c.lastHeard = Clock::now();
@@ -304,23 +336,105 @@ Coordinator::acceptNew()
 void
 Coordinator::issueLeases()
 {
-    for (auto &c : conns_) {
+    const auto now = Clock::now();
+    // Pass 0 leases only to non-quarantined workers. Pass 1 is the
+    // starvation fallback: if work remains, nothing is in flight, and
+    // every idle worker is benched, a quarantined worker is still
+    // better than stalling until the no-worker timeout degrades the
+    // run — at worst it fails the lease again and the range requeues.
+    for (int pass = 0; pass < 2; ++pass) {
         if (queue_.empty())
             return;
-        if (c.fd < 0 || !c.helloed || c.hasLease)
-            continue;
-        Range r = queue_.front();
-        queue_.pop_front();
-        c.hasLease = true;
-        c.lease = r;
-        c.leaseNext = r.begin;
-        c.lastHeard = Clock::now();
-        ++stats_.rangesIssued;
-        AssignMsg a;
-        a.begin = r.begin;
-        a.end = r.end;
-        if (!sendFrame(c.fd, MsgType::Assign, a.encode()))
-            dropConn(c, "send failed");
+        if (pass == 1) {
+            for (const auto &c : conns_)
+                if (c.fd >= 0 && c.hasLease)
+                    return;
+        }
+        for (auto &c : conns_) {
+            if (queue_.empty())
+                return;
+            if (c.fd < 0 || !c.helloed || c.hasLease)
+                continue;
+            if (pass == 0) {
+                const auto it = quarantine_.find(c.pid);
+                if (it != quarantine_.end() && now < it->second.until)
+                    continue;
+            }
+            Range r = queue_.front();
+            queue_.pop_front();
+            c.hasLease = true;
+            c.lease = r;
+            c.leaseNext = r.begin;
+            c.lastHeard = now;
+            ++stats_.rangesIssued;
+            AssignMsg a;
+            a.begin = r.begin;
+            a.end = r.end;
+            if (!sendFrame(c.fd, MsgType::Assign, a.encode()))
+                dropConn(c, "send failed");
+        }
+    }
+}
+
+/**
+ * Dead-fleet fallback: execute the unmerged tail in-process. Because
+ * each trial is a pure function of (spec, trial index), the local
+ * session produces the same records a worker would have streamed —
+ * counters, journal bytes and the adaptive stop point are identical
+ * to both the distributed and the single-process run. Everything the
+ * fleet left behind (queued chunks, stashed out-of-order records) is
+ * discarded first: the local session regenerates it from mergedNext_.
+ */
+void
+Coordinator::runDegradedTail(fault::TrialJournal *journal)
+{
+    stats_.degraded = true;
+    fh_warn("coordinator: no live workers for %llu ms; degrading to "
+            "in-process execution of %llu remaining trial(s)",
+            static_cast<unsigned long long>(opts_.noWorkerTimeoutMs),
+            static_cast<unsigned long long>(effectiveEnd_ -
+                                            mergedNext_));
+    queue_.clear();
+    stash_.clear();
+
+    const isa::Program prog = spec_.buildProgram();
+    const pipeline::CoreParams params = spec_.buildParams();
+    fault::CampaignConfig ccfg = spec_.campaign;
+    ccfg.journalPath.clear(); // the coordinator's journal, fed below
+    ccfg.progress = nullptr;
+    fault::CampaignSession session(params, &prog, ccfg);
+
+    const u64 wave = std::max<u64>(ccfg.ciWave, 1);
+    while (mergedNext_ < effectiveEnd_ && !exec::shutdownRequested()) {
+        // Adaptive campaigns evaluate the stop rule only at wave
+        // boundaries on the merged prefix; chunking each runRange at
+        // the next boundary keeps the overshoot within one wave, the
+        // same bound the lease path has.
+        u64 end = effectiveEnd_;
+        if (ccfg.ciTarget > 0.0)
+            end = std::min(end, ((mergedNext_ / wave) + 1) * wave);
+        const fault::RangeOutcome out = session.runRange(
+            mergedNext_, end,
+            [&](u64 trial, const fault::CampaignResult &delta,
+                const fault::TrialMeta &meta) {
+                if (trial != mergedNext_ || trial >= effectiveEnd_)
+                    return;
+                result_ += delta;
+                result_.profile.addTrial(delta, meta);
+                if (journal)
+                    journal->record(trial, delta, meta);
+                if (opts_.progress)
+                    opts_.progress->tick();
+                ++stats_.trialsMerged;
+                ++mergedNext_;
+                maybeCiStop();
+            });
+        if (out.halted) {
+            applyHalt(out.nextTrial);
+            break;
+        }
+        if (out.stopped)
+            break;
     }
 }
 
@@ -429,12 +543,15 @@ Coordinator::run(fault::TrialJournal *journal)
                          std::chrono::milliseconds>(now -
                                                     lastWorkerSeen)
                          .count()) > opts_.noWorkerTimeoutMs) {
-            fh_fatal("coordinator: no live workers for %llu ms with "
-                     "%llu trials outstanding",
-                     static_cast<unsigned long long>(
-                         opts_.noWorkerTimeoutMs),
-                     static_cast<unsigned long long>(effectiveEnd_ -
-                                                     mergedNext_));
+            if (!opts_.degradeToLocal) {
+                fh_fatal("coordinator: no live workers for %llu ms "
+                         "with %llu trials outstanding",
+                         static_cast<unsigned long long>(
+                             opts_.noWorkerTimeoutMs),
+                         static_cast<unsigned long long>(
+                             effectiveEnd_ - mergedNext_));
+            }
+            runDegradedTail(journal);
         }
     }
 
@@ -442,7 +559,7 @@ Coordinator::run(fault::TrialJournal *journal)
     for (auto &c : conns_) {
         if (c.fd >= 0) {
             sendFrame(c.fd, MsgType::Shutdown, {});
-            ::close(c.fd);
+            closeFabricFd(c.fd);
             c.fd = -1;
         }
     }

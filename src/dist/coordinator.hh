@@ -67,6 +67,20 @@ struct CoordinatorOptions
     /** Test hook: behave as if SIGTERM arrived once this many trials
      *  have been merged; 0 = never. */
     u64 stopAfterMerged = 0;
+
+    /** Lease failures (death/timeout/corruption with a lease held)
+     *  before a worker pid is quarantined — its Hello is still
+     *  welcome, but it gets no leases until the cool-off expires. A
+     *  successful lease clears the strike count. */
+    unsigned quarantineStrikes = 3;
+    u64 quarantineCooloffMs = 2000;
+
+    /** When the whole fleet is dead past noWorkerTimeoutMs, execute
+     *  the remaining trials in-process (bit-identical — each trial is
+     *  a pure function of spec and index) instead of dying with work
+     *  outstanding. The result is flagged in DistStats::degraded and
+     *  FH_JSON's "fabric" block. false restores the old fatal. */
+    bool degradeToLocal = true;
 };
 
 struct DistStats
@@ -76,6 +90,10 @@ struct DistStats
     u64 rangesIssued = 0;
     u64 rangesReissued = 0;
     u64 trialsMerged = 0;
+    u64 crcErrors = 0;   ///< frames rejected by the CRC trailer
+    u64 reconnects = 0;  ///< Hellos carrying a nonzero reconnect ordinal
+    u64 quarantined = 0; ///< quarantine episodes (not distinct pids)
+    bool degraded = false; ///< tail ran in-process, fleet was dead
 };
 
 class Coordinator
@@ -138,6 +156,7 @@ class Coordinator
     void maybeCiStop();
     void beginShutdown();
     bool outstandingWork() const;
+    void runDegradedTail(fault::TrialJournal *journal);
 
     CampaignSpec spec_;
     CoordinatorOptions opts_;
@@ -152,6 +171,15 @@ class Coordinator
         fault::CampaignResult delta;
         fault::TrialMeta meta;
     };
+
+    /** Lease-failure strikes per worker pid; survives reconnects (the
+     *  pid, not the connection, is what keeps failing). */
+    struct Strikes
+    {
+        unsigned strikes = 0;
+        Clock::time_point until{}; ///< quarantined while now < until
+    };
+    std::map<u64, Strikes> quarantine_;
 
     std::deque<Range> queue_; ///< sorted by begin, non-overlapping
     std::map<u64, MergedTrial> stash_;

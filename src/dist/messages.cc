@@ -9,6 +9,7 @@ HelloMsg::encode() const
     std::vector<u8> p;
     putU32(p, version);
     putU64(p, pid);
+    putU32(p, reconnect);
     return p;
 }
 
@@ -18,6 +19,25 @@ HelloMsg::decode(const std::vector<u8> &payload, HelloMsg &out)
     Cursor c(payload);
     out.version = c.u32v();
     out.pid = c.u64v();
+    out.reconnect = c.u32v();
+    return c.done();
+}
+
+std::vector<u8>
+HelloAckMsg::encode() const
+{
+    std::vector<u8> p;
+    putU32(p, version);
+    putU8(p, accepted ? 1 : 0);
+    return p;
+}
+
+bool
+HelloAckMsg::decode(const std::vector<u8> &payload, HelloAckMsg &out)
+{
+    Cursor c(payload);
+    out.version = c.u32v();
+    out.accepted = c.u8v() != 0;
     return c.done();
 }
 

@@ -30,17 +30,38 @@ namespace fh::dist
 /** Bump on any wire-visible change; mismatch refuses the worker.
  *  v2: Trial frames carry the sampling-metadata vector (stratum id,
  *  site, flags, attribution PC, early-exit cycle) after the counters,
- *  and the counter vector grew the skipped/early-terminated pair. */
-constexpr u32 kProtocolVersion = 2;
+ *  and the counter vector grew the skipped/early-terminated pair.
+ *  v3: every frame carries a CRC32C trailer, Hello carries the
+ *  worker's reconnect ordinal, and the coordinator answers Hello with
+ *  an explicit HelloAck version verdict instead of silently dropping
+ *  mismatched workers. */
+constexpr u32 kProtocolVersion = 3;
 
-/** Worker -> coordinator, once, immediately after connecting. */
+/** Worker -> coordinator, once, immediately after connecting.
+ *  reconnect is 0 on the first connection and counts up on each
+ *  re-dial, letting the coordinator tell a flapping worker from a
+ *  fresh fleet member in its fabric health stats. */
 struct HelloMsg
 {
     u32 version = kProtocolVersion;
     u64 pid = 0;
+    u32 reconnect = 0;
 
     std::vector<u8> encode() const;
     static bool decode(const std::vector<u8> &payload, HelloMsg &out);
+};
+
+/** Coordinator -> worker: explicit version verdict for the Hello.
+ *  accepted=false means the worker must exit (its protocol is wrong
+ *  for this coordinator); reconnecting would never succeed. */
+struct HelloAckMsg
+{
+    u32 version = kProtocolVersion;
+    bool accepted = false;
+
+    std::vector<u8> encode() const;
+    static bool decode(const std::vector<u8> &payload,
+                       HelloAckMsg &out);
 };
 
 /** Coordinator -> worker: the canonical campaign spec text (see

@@ -36,6 +36,28 @@ bool reapIfExited(pid_t pid, int &status);
 /** Blocking reap; returns the exit status (or -1 on waitpid error). */
 int reap(pid_t pid);
 
+/**
+ * Last-resort orphan prevention for spawned worker processes.
+ *
+ * fh_fatal std::exit()s and fh_panic (strict mode) aborts — neither
+ * unwinds, so no RAII cleanup ever runs on those paths, and a
+ * coordinator dying mid-dispatch used to leave its forked workers
+ * running forever. ChildGuard registers every spawned pid in a
+ * process-global table; the first add() installs an atexit hook
+ * (SIGTERM, short grace, then SIGKILL + reap) and a SIGABRT handler
+ * (async-signal-safe SIGKILL + reap, then re-raise). Normal-path code
+ * should still reap children itself and remove() them — the guard only
+ * fires for pids still registered when the process dies.
+ */
+namespace ChildGuard
+{
+/** Register a child for at-death cleanup (first call installs the
+ *  exit/abort hooks). */
+void add(pid_t pid);
+/** Deregister after a normal reap; unknown pids are ignored. */
+void remove(pid_t pid);
+} // namespace ChildGuard
+
 } // namespace fh::dist
 
 #endif // FH_DIST_SPAWNER_HH

@@ -1,13 +1,18 @@
 #include "dist/wire.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+
+#include "dist/chaos.hh"
+#include "sim/crc32c.hh"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -120,10 +125,14 @@ std::vector<u8>
 encodeFrame(MsgType type, const std::vector<u8> &payload)
 {
     std::vector<u8> out;
-    out.reserve(kLengthBytes + 1 + payload.size());
-    putU32(out, static_cast<u32>(1 + payload.size()));
+    out.reserve(kLengthBytes + 1 + payload.size() + kCrcBytes);
+    putU32(out, static_cast<u32>(1 + payload.size() + kCrcBytes));
     putU8(out, static_cast<u8>(type));
     out.insert(out.end(), payload.begin(), payload.end());
+    // The CRC covers everything before it — length prefix included, so
+    // a flipped length bit is caught once the (mis-sized) frame
+    // completes rather than silently resyncing the stream.
+    putU32(out, crc32c(out.data(), out.size()));
     return out;
 }
 
@@ -150,15 +159,23 @@ FrameReader::next(Frame &out)
         return false;
     Cursor len(buf_.data() + pos_, kLengthBytes);
     const u32 length = len.u32v();
-    if (length == 0 || length > kMaxFrame) {
+    if (length < 1 + kCrcBytes || length > kMaxFrame) {
         corrupt_ = true;
         return false;
     }
     if (avail < kLengthBytes + length)
         return false; // torn tail: wait for the rest (or EOF drops it)
-    const u8 *body = buf_.data() + pos_ + kLengthBytes;
+    const u8 *start = buf_.data() + pos_;
+    const size_t covered = kLengthBytes + length - kCrcBytes;
+    Cursor trailer(start + covered, kCrcBytes);
+    if (crc32c(start, covered) != trailer.u32v()) {
+        ++crcErrors_;
+        corrupt_ = true;
+        return false;
+    }
+    const u8 *body = start + kLengthBytes;
     out.type = body[0];
-    out.payload.assign(body + 1, body + length);
+    out.payload.assign(body + 1, body + length - kCrcBytes);
     pos_ += kLengthBytes + length;
     return true;
 }
@@ -214,6 +231,15 @@ parseEndpoint(const std::string &text, Endpoint &out,
 namespace
 {
 
+/** The fabric-fd registry (see adoptFabricFd in wire.hh): a fixed
+ *  lock-free table so the child-side sweep right after fork() needs
+ *  no allocation and no locks that might be mid-acquire in another
+ *  thread at fork time. Slot value 0 = free (fd 0 is never a
+ *  socket). A full table only weakens child-side hygiene — the send
+ *  stall bound still holds — so overflow is not an error. */
+constexpr size_t kMaxFabricFds = 256;
+std::atomic<int> gFabricFds[kMaxFabricFds];
+
 bool
 fillSockaddr(const Endpoint &ep, sockaddr_storage &ss, socklen_t &len,
              std::string &error)
@@ -239,6 +265,47 @@ fillSockaddr(const Endpoint &ep, sockaddr_storage &ss, socklen_t &len,
 }
 
 } // namespace
+
+void
+adoptFabricFd(int fd)
+{
+    if (fd <= 0)
+        return;
+    // Bounded sends: a peer that stops draining its receive buffer
+    // turns send() into EAGAIN after 2 s instead of an infinite
+    // block; sendAll then gives the buffer ~10 s total to move before
+    // declaring the peer gone.
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    for (auto &slot : gFabricFds) {
+        int expected = 0;
+        if (slot.compare_exchange_strong(expected, fd))
+            return;
+    }
+}
+
+void
+closeFabricFd(int fd)
+{
+    if (fd <= 0)
+        return;
+    for (auto &slot : gFabricFds) {
+        int expected = fd;
+        if (slot.compare_exchange_strong(expected, 0))
+            break;
+    }
+    ::close(fd);
+}
+
+void
+closeFabricFdsInChild()
+{
+    for (auto &slot : gFabricFds) {
+        const int fd = slot.exchange(0);
+        if (fd > 0)
+            ::close(fd);
+    }
+}
 
 int
 listenOn(Endpoint &ep, std::string &error)
@@ -273,6 +340,7 @@ listenOn(Endpoint &ep, std::string &error)
                           &blen) == 0)
             ep.port = ntohs(bound.sin_port);
     }
+    adoptFabricFd(fd);
     return fd;
 }
 
@@ -303,6 +371,7 @@ connectTo(const Endpoint &ep, std::string &error)
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
+    adoptFabricFd(fd);
     return fd;
 }
 
@@ -310,20 +379,28 @@ bool
 sendAll(int fd, const void *data, size_t n)
 {
     const char *p = static_cast<const char *>(data);
+    int stalledMs = 0;
     while (n > 0) {
         const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                // Coordinator fds are non-blocking for reads; frames
-                // are small, so just wait for buffer space.
+                // Coordinator fds are non-blocking for reads and every
+                // fabric fd carries a SO_SNDTIMEO; wait for buffer
+                // space, but only so long — a peer that drains nothing
+                // for ~10 s is gone, and blocking forever here is how
+                // a dead fabric becomes a hung process.
+                if (stalledMs >= 10000)
+                    return false;
                 pollfd pfd{fd, POLLOUT, 0};
-                ::poll(&pfd, 1, 1000);
+                if (::poll(&pfd, 1, 1000) <= 0)
+                    stalledMs += 1000;
                 continue;
             }
             return false;
         }
+        stalledMs = 0;
         p += w;
         n -= static_cast<size_t>(w);
     }
@@ -334,6 +411,8 @@ bool
 sendFrame(int fd, MsgType type, const std::vector<u8> &payload)
 {
     const std::vector<u8> frame = encodeFrame(type, payload);
+    if (chaos::enabled())
+        return chaos::send(fd, frame.data(), frame.size());
     return sendAll(fd, frame.data(), frame.size());
 }
 

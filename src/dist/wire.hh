@@ -4,17 +4,24 @@
  * frames over a stream socket, plus the small socket helpers the
  * coordinator and workers share.
  *
- * A frame is `u32 length (LE) | u8 type | payload`, where length
- * counts the type byte plus the payload. The format is deliberately
- * trivial: trial records are ~150 bytes, the campaign spec is a few
- * hundred, and the fabric's correctness rests on *framing* (a
- * coordinator must never act on half a record from a worker that died
- * mid-write), not on encoding cleverness. FrameReader is incremental
- * and tolerant of torn tails — bytes short of a full frame simply wait
- * for more input, and a stream that ends inside a frame yields the
- * complete prefix and nothing else. Only an impossible length (zero,
- * or beyond kMaxFrame) marks the stream corrupt, at which point the
- * peer is treated as dead.
+ * A frame is `u32 length (LE) | u8 type | payload | u32 crc32c (LE)`,
+ * where length counts the type byte, the payload, and the CRC trailer.
+ * The CRC covers the length prefix, the type byte, and the payload, so
+ * any single flipped bit anywhere in the frame — length field included
+ * — fails verification once the frame completes. The format is
+ * deliberately trivial: trial records are ~150 bytes, the campaign
+ * spec is a few hundred, and the fabric's correctness rests on
+ * *framing* and *integrity* (a coordinator must never act on half a
+ * record from a worker that died mid-write, nor on a record a flaky
+ * link mutated in flight), not on encoding cleverness. FrameReader is
+ * incremental and tolerant of torn tails — bytes short of a full frame
+ * simply wait for more input, and a stream that ends inside a frame
+ * yields the complete prefix and nothing else. An impossible length
+ * (shorter than type + CRC, or beyond kMaxFrame) or a CRC mismatch
+ * marks the stream corrupt, at which point the peer is treated as
+ * dead; reconnection, not in-stream resync, is the recovery path —
+ * on a byte stream there is no reliable way to find the next frame
+ * boundary after corruption.
  *
  * Endpoints are `host:port` TCP (IPv4) or `unix:/path` domain
  * sockets. All sockets are used blocking on the worker side; the
@@ -43,6 +50,7 @@ enum class MsgType : u8
     RangeDone = 5, ///< worker -> coordinator: lease finished
     Heartbeat = 6, ///< worker -> coordinator: liveness + position
     Shutdown = 7,  ///< coordinator -> worker: drain and exit
+    HelloAck = 8,  ///< coordinator -> worker: version verdict
 };
 
 /** Sanity bound on a frame's length field; a peer advertising more is
@@ -51,6 +59,10 @@ constexpr u32 kMaxFrame = 1u << 20;
 
 /** Bytes of the `u32 length` prefix. */
 constexpr size_t kLengthBytes = 4;
+
+/** Bytes of the trailing CRC32C; the smallest legal length field is
+ *  one type byte plus this trailer. */
+constexpr size_t kCrcBytes = 4;
 
 struct Frame
 {
@@ -116,9 +128,13 @@ class FrameReader
     void feed(const u8 *data, size_t n);
     /** Pop the next complete frame; false if none (or corrupt). */
     bool next(Frame &out);
-    /** The stream advertised an impossible frame length; no further
-     *  frames will be produced. */
+    /** The stream advertised an impossible frame length or failed CRC
+     *  verification; no further frames will be produced. */
     bool corrupt() const { return corrupt_; }
+    /** Complete frames whose CRC trailer did not match — counted so
+     *  the coordinator can surface wire corruption in its fabric
+     *  health stats instead of losing it in a generic "dropped". */
+    u64 crcErrors() const { return crcErrors_; }
     /** Bytes buffered but not yet forming a complete frame. */
     size_t pendingBytes() const { return buf_.size() - pos_; }
 
@@ -126,6 +142,7 @@ class FrameReader
     std::vector<u8> buf_;
     size_t pos_ = 0; ///< consumed prefix of buf_
     bool corrupt_ = false;
+    u64 crcErrors_ = 0;
 };
 
 /* ------------------------------------------------------------------ */
@@ -155,11 +172,38 @@ int listenOn(Endpoint &ep, std::string &error);
 /** Connect to the endpoint; returns fd or -1 with error set. */
 int connectTo(const Endpoint &ep, std::string &error);
 
+/**
+ * Track a fabric socket for child-process hygiene and bound its send
+ * stalls. fork()ed children (spawnFn test workers, dispatch's
+ * fork+exec window) inherit every open fd; an inherited connection
+ * end keeps the stream artificially alive after its real owner dies —
+ * the peer never sees EOF and can block forever in send() on a buffer
+ * nobody drains. Registered fds are closed en masse in spawned
+ * children (spawner.cc) and get a SO_SNDTIMEO so even a genuinely
+ * wedged peer turns into a bounded send failure, not a hang.
+ * listenOn/connectTo adopt their fds automatically; the coordinator
+ * adopts each accept()ed fd.
+ */
+void adoptFabricFd(int fd);
+
+/** Unregister + close a fabric fd (the only way fabric sockets should
+ *  be closed, or the child-side registry leaks stale fds). */
+void closeFabricFd(int fd);
+
+/** Child-side half of adoptFabricFd: close every inherited fabric fd.
+ *  Called by the spawners right after fork. */
+void closeFabricFdsInChild();
+
 /** Write all n bytes (handles short writes, EINTR; no SIGPIPE).
- *  False once the peer is gone. */
+ *  False once the peer is gone — or once the send has stalled long
+ *  enough (no buffer space drained for ~10 s) that the peer is
+ *  functionally gone; an unbounded blocking send is how a dead fabric
+ *  turns into a hung process. */
 bool sendAll(int fd, const void *data, size_t n);
 
-/** encodeFrame + sendAll. */
+/** encodeFrame + sendAll — routed through the chaos interposer when
+ *  FH_CHAOS is armed (see dist/chaos.hh); false once the peer is gone
+ *  or chaos deliberately killed the connection. */
 bool sendFrame(int fd, MsgType type, const std::vector<u8> &payload);
 
 } // namespace fh::dist

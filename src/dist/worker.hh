@@ -4,13 +4,23 @@
  * spec, and executes leased trial ranges through a CampaignSession,
  * streaming each completed trial's counter deltas back in trial order.
  *
- * Threads: the main thread runs the session (and owns the socket for
- * ordered sends); a receiver thread blocks on the socket so a Shutdown
- * frame (or coordinator death) latches the process shutdown flag even
- * mid-range — the session's own stop checks then drain the range; a
- * heartbeat thread proves liveness independently of trial completion,
- * so a worker grinding one slow fork is distinguishable from a hung
- * one. All sends go through one mutex: frames never interleave.
+ * Threads (per connection): the main thread runs the session (and owns
+ * the socket for ordered sends); a receiver thread polls the socket so
+ * a Shutdown frame latches the process shutdown flag even mid-range —
+ * the session's own stop checks then drain the range; a heartbeat
+ * thread proves liveness independently of trial completion, so a
+ * worker grinding one slow fork is distinguishable from a hung one.
+ * All sends go through one mutex: frames never interleave.
+ *
+ * Connection loss is not fatal: EOF, a corrupt/CRC-failed stream, or a
+ * stalled partial frame kill only the *session* (via
+ * CampaignConfig::abortFlag), and the worker re-dials the coordinator
+ * with exponentially backed-off, decorrelated-jitter delays, starting
+ * a fresh session on the new connection. Because every trial is a pure
+ * function of (spec, trial index), re-executing a lease after a
+ * reconnect is harmless — the coordinator's merge discards duplicates.
+ * Only a Shutdown frame, a local signal, or an explicit version
+ * rejection (HelloAck) ends the worker.
  */
 
 #ifndef FH_DIST_WORKER_HH
@@ -28,12 +38,32 @@ struct WorkerOptions
      *  0 = one per hardware thread. */
     unsigned jobs = 1;
     u64 heartbeatMs = 300;
+
+    /**
+     * How long a partial frame may sit in the receive buffer without
+     * completing before the connection is declared corrupt. Guards
+     * against a flipped *length* field on the coordinator->worker
+     * path: the mis-sized frame never completes, yet the worker's own
+     * heartbeats would keep its lease alive forever — a livelock no
+     * timeout on the coordinator side can see.
+     */
+    u64 stallTimeoutMs = 2000;
+
+    /** Consecutive failed (re)connection attempts before giving up;
+     *  the counter resets whenever a connection makes progress (a
+     *  spec or lease arrives). */
+    unsigned maxReconnects = 8;
+    /** Decorrelated-jitter backoff: sleep ~ uniform(base, prev*3),
+     *  capped. */
+    u64 backoffBaseMs = 50;
+    u64 backoffCapMs = 1000;
 };
 
 /**
- * Run a worker to completion (coordinator sent Shutdown, the socket
- * closed, or a local SIGINT/SIGTERM drained it). Returns a process
- * exit code: 0 on a clean drain, 1 on connect/protocol failure.
+ * Run a worker to completion (coordinator sent Shutdown, or a local
+ * SIGINT/SIGTERM drained it). Returns a process exit code: 0 on a
+ * clean drain, 1 on protocol failure / version rejection / reconnect
+ * budget exhausted.
  */
 int runWorker(const WorkerOptions &opts);
 

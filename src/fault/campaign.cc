@@ -551,6 +551,8 @@ struct CampaignSession::Impl
     bool stopRequested() const
     {
         return exec::shutdownRequested() ||
+               (cfg.abortFlag &&
+                cfg.abortFlag->load(std::memory_order_relaxed)) ||
                (cfg.stopAfterTrials && executed >= cfg.stopAfterTrials);
     }
 

@@ -26,6 +26,7 @@
 #ifndef FH_FAULT_CAMPAIGN_HH
 #define FH_FAULT_CAMPAIGN_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -165,6 +166,18 @@ struct CampaignConfig
     /** Adaptive wave size in trials (FH_CI_WAVE, `ci_wave=`): the stop
      *  condition is evaluated only at multiples of this. */
     u64 ciWave = 64;
+
+    /**
+     * Host-local abort line (never part of a campaign spec, like
+     * threads/progress): when non-null and set, the campaign behaves
+     * exactly as if a shutdown signal arrived — drain in-flight
+     * trials, flush, return a partial result. The dist worker points
+     * this at its per-connection "connection lost" latch so losing the
+     * coordinator aborts only the current session, not the process
+     * (the global exec::requestShutdown latch would preclude
+     * reconnecting).
+     */
+    const std::atomic<bool> *abortFlag = nullptr;
 };
 
 /**

@@ -10,7 +10,8 @@ namespace fh::fault
 bool
 writeCampaignJson(const std::string &path, const std::string &bench,
                   unsigned workers, const CampaignConfig &cfg,
-                  const CampaignResult &r, double seconds)
+                  const CampaignResult &r, double seconds,
+                  const FabricHealth *fabric)
 {
     std::FILE *out =
         path == "-" ? stdout : std::fopen(path.c_str(), "w");
@@ -118,6 +119,23 @@ writeCampaignJson(const std::string &path, const std::string &bench,
                      u(r.profile.sdcCycleBuckets[b]));
     std::fprintf(out, "]\n");
     std::fprintf(out, "  },\n");
+    // Distributed-fabric health (coordinator runs only): how rough the
+    // network was and what the fabric absorbed. Observational — the
+    // classification above is identical whatever these counters say.
+    if (fabric) {
+        std::fprintf(
+            out,
+            "  \"fabric\": { \"workers_joined\": %u, "
+            "\"workers_died\": %u, \"crc_errors\": %llu, "
+            "\"reconnects\": %llu, \"ranges_issued\": %llu, "
+            "\"ranges_reissued\": %llu, \"quarantined\": %llu, "
+            "\"degraded\": %s },\n",
+            fabric->workersJoined, fabric->workersDied,
+            u(fabric->crcErrors), u(fabric->reconnects),
+            u(fabric->rangesIssued), u(fabric->rangesReissued),
+            u(fabric->quarantined),
+            fabric->degraded ? "true" : "false");
+    }
     // Event-driven scheduler counters over every core the campaign ran
     // (master + forks): purely observational, never classification.
     const SchedCounters &s = r.sched;

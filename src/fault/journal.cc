@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "sim/crc32c.hh"
 #include "sim/logging.hh"
 
 namespace fh::fault
@@ -101,7 +102,7 @@ std::string
 headerLine(const CampaignConfig &cfg, const std::string &scheme)
 {
     return csprintf(
-        "{\"fh_trial_journal\": 2, \"scheme\": \"%s\", \"seed\": %llu, "
+        "{\"fh_trial_journal\": 3, \"scheme\": \"%s\", \"seed\": %llu, "
         "\"injections\": %llu, \"window\": %llu, \"warmup\": %llu, "
         "\"min_gap\": %llu, \"max_gap\": %llu, "
         "\"fork_max_cycles\": %llu, \"rename_frac\": %.17g, "
@@ -119,12 +120,39 @@ headerLine(const CampaignConfig &cfg, const std::string &scheme)
         static_cast<unsigned long long>(cfg.ciWave));
 }
 
-/** Parse `{"t": N, "d": [c0, ..., c18], "m": [m0, ..., m6]}`; false
- *  on any malformation (a crash-truncated tail line must not be
- *  trusted). */
+/**
+ * CRC32C over the record's *values* (trial index, counters, metadata —
+ * 27 u64s packed little-endian), not its JSON text: two textual
+ * spellings of the same numbers are the same record, and it is the
+ * values the resumed campaign depends on. Journal v3 stores this as
+ * the record's "c" field, catching mid-file bit rot that still parses
+ * as valid JSON — the case the torn-tail heuristic can never see.
+ */
+u32
+recordCrc(u64 trial, const u64 (&d)[kTrialCounters],
+          const u64 (&m)[kTrialMetaFields])
+{
+    u8 buf[8 * (1 + kTrialCounters + kTrialMetaFields)];
+    size_t o = 0;
+    auto put = [&](u64 v) {
+        for (int i = 0; i < 8; ++i)
+            buf[o++] = static_cast<u8>(v >> (8 * i));
+    };
+    put(trial);
+    for (size_t i = 0; i < kTrialCounters; ++i)
+        put(d[i]);
+    for (size_t i = 0; i < kTrialMetaFields; ++i)
+        put(m[i]);
+    return crc32c(buf, o);
+}
+
+/** Parse `{"t": N, "d": [c0, ..., c18], "m": [m0, ..., m6], "c": C}`;
+ *  false on any malformation (a crash-truncated tail line must not be
+ *  trusted). The stored checksum is returned for the caller to verify
+ *  against recordCrc — shape and integrity are separate diagnoses. */
 bool
 parseRecord(const std::string &line, u64 &trial, u64 (&d)[kTrialCounters],
-            u64 (&m)[kTrialMetaFields])
+            u64 (&m)[kTrialMetaFields], u64 &crc)
 {
     const char *p = line.c_str();
     auto expect = [&](const char *tok) {
@@ -166,7 +194,8 @@ parseRecord(const std::string &line, u64 &trial, u64 (&d)[kTrialCounters],
         if (i + 1 < kTrialMetaFields && !expect(","))
             return false;
     }
-    return expect("]") && expect("}");
+    return expect("]") && expect(",") && expect("\"c\":") &&
+           number(crc) && crc <= ~u32{0} && expect("}");
 }
 
 /** Write one record line (shared by the prefix rewrite and record). */
@@ -183,7 +212,8 @@ writeRecord(std::FILE *out, u64 trial, const u64 (&d)[kTrialCounters],
     for (size_t i = 0; i < kTrialMetaFields; ++i)
         std::fprintf(out, "%s%llu", i ? ", " : "",
                      static_cast<unsigned long long>(m[i]));
-    std::fprintf(out, "]}\n");
+    std::fprintf(out, "], \"c\": %lu}\n",
+                 static_cast<unsigned long>(recordCrc(trial, d, m)));
 }
 
 } // namespace
@@ -209,15 +239,67 @@ TrialJournal::TrialJournal(const std::string &path,
             u64 d[kTrialCounters];
             u64 m[kTrialMetaFields];
             u64 trial = 0;
+            u64 crc = 0;
+            u64 lineNo = 1; // the header
+            std::string badWhy;
+            u64 badLine = 0;
             while (std::getline(in, line)) {
-                if (!parseRecord(line, trial, d, m) ||
-                    trial != replayed_.size()) {
-                    // Crash-truncated or out-of-order tail: keep the
-                    // clean prefix, drop the rest (it re-executes).
+                ++lineNo;
+                if (!parseRecord(line, trial, d, m, crc)) {
+                    badWhy = "malformed record";
+                    badLine = lineNo;
+                    break;
+                }
+                if (static_cast<u32>(crc) != recordCrc(trial, d, m)) {
+                    badWhy = csprintf(
+                        "record checksum mismatch (trial %llu: stored "
+                        "%llu, computed %lu)",
+                        static_cast<unsigned long long>(trial),
+                        static_cast<unsigned long long>(crc),
+                        static_cast<unsigned long>(
+                            recordCrc(trial, d, m)));
+                    badLine = lineNo;
+                    break;
+                }
+                if (trial != replayed_.size()) {
+                    badWhy = csprintf(
+                        "trial out of order (got %llu, expected %llu)",
+                        static_cast<unsigned long long>(trial),
+                        static_cast<unsigned long long>(
+                            replayed_.size()));
+                    badLine = lineNo;
                     break;
                 }
                 replayed_.push_back(unpackTrialCounters(d));
                 replayedMeta_.push_back(unpackTrialMeta(m));
+            }
+            if (badLine != 0) {
+                // Torn tail or corrupt body? A crash truncates the
+                // *last* line; it cannot leave intact records after
+                // the damage. If any later line still checks out, the
+                // file was corrupted in place — refuse, loudly, with
+                // the exact record: silently resuming would fork the
+                // campaign's history.
+                bool laterValid = false;
+                while (std::getline(in, line)) {
+                    if (parseRecord(line, trial, d, m, crc) &&
+                        static_cast<u32>(crc) ==
+                            recordCrc(trial, d, m)) {
+                        laterValid = true;
+                        break;
+                    }
+                }
+                if (laterValid) {
+                    fh_fatal(
+                        "journal '%s': %s at line %llu, but valid "
+                        "records follow — mid-file corruption, not a "
+                        "torn tail; refusing to resume (delete the "
+                        "journal or restore it to re-run)",
+                        path_.c_str(), badWhy.c_str(),
+                        static_cast<unsigned long long>(badLine));
+                }
+                // Torn tail: keep the clean prefix, drop the rest
+                // (it re-executes).
             }
         }
         in.close();

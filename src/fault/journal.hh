@@ -30,8 +30,14 @@
  * The header line pins the campaign identity (seed, injections,
  * window, schedule, mix, scheme); resuming against a journal written
  * by a different configuration is a user error (fh_fatal), not a
- * silent wrong answer. A line truncated by a crash mid-write is
- * ignored, as is everything after it.
+ * silent wrong answer. Every record carries a CRC32C over its values
+ * (journal v3), splitting damage into two cases with opposite
+ * handling: a bad record with nothing valid after it is a torn tail
+ * from a crash mid-write — healed by dropping it (the trial
+ * re-executes); a bad record with valid records after it is mid-file
+ * corruption — resume refuses with the exact record, because silently
+ * skipping or re-executing an interior trial would fork the
+ * campaign's history.
  */
 
 #ifndef FH_FAULT_JOURNAL_HH

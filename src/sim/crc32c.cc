@@ -1,0 +1,37 @@
+#include "sim/crc32c.hh"
+
+namespace fh
+{
+
+namespace
+{
+
+struct Crc32cTable
+{
+    u32 t[256];
+
+    Crc32cTable()
+    {
+        for (u32 i = 0; i < 256; ++i) {
+            u32 c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+} // namespace
+
+u32
+crc32c(const void *data, size_t n, u32 seed)
+{
+    static const Crc32cTable table;
+    const u8 *p = static_cast<const u8 *>(data);
+    u32 c = ~seed;
+    for (size_t i = 0; i < n; ++i)
+        c = table.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return ~c;
+}
+
+} // namespace fh

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) — the integrity checksum shared by the
+ * distributed fabric's wire frames and the trial journal's per-record
+ * checksums. One implementation on purpose: a frame journaled verbatim
+ * by the coordinator is protected by the same polynomial end to end,
+ * so there is exactly one notion of "these bytes are intact" in the
+ * system.
+ *
+ * Software table-based (reflected 0x82F63B78), ~1 byte/cycle — the
+ * largest protected unit is a few-hundred-byte trial record, so
+ * hardware CRC instructions would be unobservable here.
+ */
+
+#ifndef FH_SIM_CRC32C_HH
+#define FH_SIM_CRC32C_HH
+
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace fh
+{
+
+/** CRC32C of data[0, n). Pass a previous return value as seed to
+ *  checksum a logically contiguous buffer in pieces. */
+u32 crc32c(const void *data, size_t n, u32 seed = 0);
+
+} // namespace fh
+
+#endif // FH_SIM_CRC32C_HH

@@ -1,0 +1,619 @@
+/**
+ * @file
+ * Chaos hardening for the distributed fabric, oracle-checked against
+ * PR 5's guarantee: under ANY seeded FH_CHAOS schedule (frame drops,
+ * truncations, bit flips, duplications, delays, connection resets),
+ * after a coordinator SIGKILL + restart, and with a fully dead fleet,
+ * a dispatched campaign's counters, profile, and journal BYTES must
+ * equal the clean single-process run. Also covers: quarantine of a
+ * repeatedly-failing worker pid, record-level journal corruption
+ * (every single-bit flip either heals as a torn tail or refuses with
+ * a precise error — never silently continues), and ChildGuard's
+ * no-orphans promise on the fh_fatal / abort death paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/chaos.hh"
+#include "dist/coordinator.hh"
+#include "dist/messages.hh"
+#include "dist/spawner.hh"
+#include "dist/spec.hh"
+#include "dist/worker.hh"
+#include "fault/campaign.hh"
+#include "fault/journal.hh"
+#include "workload/workload.hh"
+
+using namespace fh;
+
+namespace
+{
+
+/** The same small classification-diverse campaign test_dist uses. */
+dist::CampaignSpec
+testSpec()
+{
+    dist::CampaignSpec spec;
+    spec.bench = "ocean";
+    spec.scheme = "faulthound";
+    spec.coreThreads = 2;
+    spec.workload.maxThreads = 2;
+    spec.workload.footprintDivider = 64;
+    spec.campaign.injections = 24;
+    spec.campaign.window = 300;
+    spec.campaign.seed = 77;
+    spec.campaign.threads = 1;
+    return spec;
+}
+
+fault::CampaignResult
+singleProcess(const dist::CampaignSpec &spec,
+              const std::string &journal = "")
+{
+    isa::Program prog = spec.buildProgram();
+    fault::CampaignConfig cfg = spec.campaign;
+    cfg.threads = 1;
+    cfg.journalPath = journal;
+    return fault::runCampaign(spec.buildParams(), &prog, cfg);
+}
+
+void
+expectIdentical(const fault::CampaignResult &a,
+                const fault::CampaignResult &b)
+{
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.noisy, b.noisy);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.recovered, b.recovered);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.uncovered, b.uncovered);
+    EXPECT_EQ(a.trialErrors, b.trialErrors);
+    EXPECT_EQ(a.hungBare, b.hungBare);
+    EXPECT_EQ(a.hungProtected, b.hungProtected);
+    EXPECT_EQ(a.skippedProvablyMasked, b.skippedProvablyMasked);
+    EXPECT_EQ(a.earlyTerminated, b.earlyTerminated);
+    EXPECT_EQ(a.profile, b.profile);
+    EXPECT_EQ(a.bins.covered, b.bins.covered);
+    EXPECT_EQ(a.bins.secondLevelMasked, b.bins.secondLevelMasked);
+    EXPECT_EQ(a.bins.completedReg, b.bins.completedReg);
+    EXPECT_EQ(a.bins.archReg, b.bins.archReg);
+    EXPECT_EQ(a.bins.renameUncovered, b.bins.renameUncovered);
+    EXPECT_EQ(a.bins.noTrigger, b.bins.noTrigger);
+    EXPECT_EQ(a.bins.other, b.bins.other);
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string path = testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+schemeName(const dist::CampaignSpec &spec)
+{
+    return filters::to_string(spec.buildParams().detector.scheme);
+}
+
+/** A worker tuned for a hostile wire: fast heartbeats, fast stall
+ *  detection, and enough cheap reconnect attempts to outlast any
+ *  schedule the chaos engine throws at it. */
+pid_t
+spawnChaosWorker(const dist::Endpoint &ep)
+{
+    return dist::spawnFn([ep] {
+        dist::WorkerOptions opts;
+        opts.endpoint = ep;
+        opts.jobs = 1;
+        opts.heartbeatMs = 25;
+        opts.stallTimeoutMs = 500;
+        opts.maxReconnects = 50;
+        opts.backoffBaseMs = 5;
+        opts.backoffCapMs = 50;
+        return dist::runWorker(opts);
+    });
+}
+
+pid_t
+spawnRealWorker(const dist::Endpoint &ep, unsigned delayMs = 0)
+{
+    return dist::spawnFn([ep, delayMs] {
+        if (delayMs)
+            ::usleep(delayMs * 1000);
+        dist::WorkerOptions opts;
+        opts.endpoint = ep;
+        opts.jobs = 1;
+        opts.heartbeatMs = 50;
+        return dist::runWorker(opts);
+    });
+}
+
+/** Blocking read of the next frame (child-side helper). */
+bool
+recvFrame(int fd, dist::FrameReader &reader, dist::Frame &out)
+{
+    while (!reader.next(out)) {
+        if (reader.corrupt())
+            return false;
+        u8 buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return false;
+        reader.feed(buf, static_cast<size_t>(n));
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Chaos schedules: the oracle is bit-identity with the clean run.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, AnyScheduleYieldsBitIdenticalResults)
+{
+    ::unsetenv("FH_CHAOS");
+    const dist::CampaignSpec spec = testSpec();
+    const std::string refJournal = tempPath("chaos_ref.fhj");
+    const fault::CampaignResult ref = singleProcess(spec, refJournal);
+    ASSERT_GT(ref.injected, 0u);
+    const std::string refBytes = fileBytes(refJournal);
+
+    // Four very different storms: CRC-caught corruption, connection
+    // churn, vanished/torn frames, and the default mixed schedule.
+    const char *schedules[] = {
+        "101:flip=60,dup=60",
+        "202:reset=40,delay=20",
+        "303:drop=25,trunc=25",
+        "404",
+    };
+    u64 disruption = 0;
+    for (const char *schedule : schedules) {
+        ::setenv("FH_CHAOS", schedule, 1);
+        dist::CoordinatorOptions opts;
+        opts.workers = 2;
+        opts.chunk = 6;
+        opts.leaseTimeoutMs = 700;
+        opts.noWorkerTimeoutMs = 2500; // degraded tail beats hanging
+        dist::Coordinator coord(spec, opts); // re-arms chaos from env
+        std::vector<pid_t> pids;
+        for (unsigned i = 0; i < 2; ++i)
+            pids.push_back(spawnChaosWorker(coord.endpoint()));
+
+        const std::string journal = tempPath("chaos_run.fhj");
+        fault::CampaignResult r;
+        {
+            fault::TrialJournal j(journal, spec.campaign,
+                                  schemeName(spec));
+            r = coord.run(&j);
+        }
+        for (pid_t pid : pids)
+            dist::reap(pid);
+
+        expectIdentical(ref, r);
+        EXPECT_FALSE(r.partial) << "schedule " << schedule;
+        EXPECT_EQ(refBytes, fileBytes(journal))
+            << "journal diverged under schedule " << schedule;
+        const dist::DistStats &ds = coord.stats();
+        disruption += ds.crcErrors + ds.reconnects + ds.workersDied +
+                      ds.rangesReissued + (ds.degraded ? 1 : 0);
+        std::remove(journal.c_str());
+    }
+    // The storms must actually have hit something, or this test is
+    // vacuously passing on a clean wire.
+    EXPECT_GT(disruption, 0u);
+    ::unsetenv("FH_CHAOS");
+    dist::chaos::reload();
+    std::remove(refJournal.c_str());
+}
+
+TEST(Chaos, ChaosSpecParsesAndArms)
+{
+    ::setenv("FH_CHAOS", "7:flip=1000", 1);
+    dist::chaos::reload();
+    EXPECT_TRUE(dist::chaos::enabled());
+    ::unsetenv("FH_CHAOS");
+    dist::chaos::reload();
+    EXPECT_FALSE(dist::chaos::enabled());
+}
+
+// ---------------------------------------------------------------------
+// Coordinator crash recovery: SIGKILL mid-campaign, restart, resume.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, CoordinatorSigkillRestartResumesBitIdentically)
+{
+    ::unsetenv("FH_CHAOS");
+    dist::chaos::reload();
+    dist::CampaignSpec spec = testSpec();
+    spec.campaign.injections = 48;
+    const std::string refJournal = tempPath("crash_ref.fhj");
+    const fault::CampaignResult ref = singleProcess(spec, refJournal);
+
+    const std::string journal = tempPath("crash_run.fhj");
+    const std::string sock = tempPath("crash_coord.sock");
+
+    // Phase 1: a coordinator process (own workers, journal enabled),
+    // SIGKILLed once the journal shows a merged prefix — torn tail
+    // and all, exactly what a crashed host leaves behind.
+    const pid_t coordPid = dist::spawnFn([&]() -> int {
+        dist::CoordinatorOptions opts;
+        opts.workers = 2;
+        opts.chunk = 6;
+        opts.listen.unixDomain = true;
+        opts.listen.host = sock;
+        dist::Coordinator coord(spec, opts);
+        std::vector<pid_t> pids;
+        for (unsigned i = 0; i < 2; ++i)
+            pids.push_back(spawnRealWorker(coord.endpoint()));
+        fault::TrialJournal j(journal, spec.campaign,
+                              schemeName(spec));
+        coord.run(&j);
+        for (pid_t pid : pids)
+            dist::reap(pid);
+        return 0;
+    });
+    ASSERT_GT(coordPid, 0);
+
+    // Wait for the header + at least 8 records, then kill -9.
+    for (int spins = 0; spins < 10000; ++spins) {
+        const std::string bytes = fileBytes(journal);
+        const long lines =
+            std::count(bytes.begin(), bytes.end(), '\n');
+        if (lines >= 9)
+            break;
+        int status;
+        if (dist::reapIfExited(coordPid, status))
+            break; // finished before we could kill it — still valid
+        ::usleep(2000);
+    }
+    ::kill(coordPid, SIGKILL);
+    dist::reap(coordPid);
+
+    // Phase 2: same spec, same journal, fresh coordinator + fleet.
+    // The merged prefix replays; the rest executes; bytes converge.
+    {
+        fault::TrialJournal j(journal, spec.campaign,
+                              schemeName(spec));
+        dist::CoordinatorOptions opts;
+        opts.workers = 2;
+        dist::Coordinator coord(spec, opts);
+        std::vector<pid_t> pids;
+        for (unsigned i = 0; i < 2; ++i)
+            pids.push_back(spawnRealWorker(coord.endpoint()));
+        const fault::CampaignResult r = coord.run(&j);
+        for (pid_t pid : pids)
+            dist::reap(pid);
+        expectIdentical(ref, r);
+        EXPECT_FALSE(r.partial);
+    }
+    EXPECT_EQ(fileBytes(refJournal), fileBytes(journal));
+    std::remove(refJournal.c_str());
+    std::remove(journal.c_str());
+    std::remove(sock.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Dead fleet: degrade to in-process execution, never hang or die.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, DeadFleetDegradesToInProcessIdentically)
+{
+    ::unsetenv("FH_CHAOS");
+    dist::chaos::reload();
+    const dist::CampaignSpec spec = testSpec();
+    const std::string refJournal = tempPath("degraded_ref.fhj");
+    const fault::CampaignResult ref = singleProcess(spec, refJournal);
+
+    dist::CoordinatorOptions opts;
+    opts.workers = 2;
+    opts.noWorkerTimeoutMs = 200; // nobody is coming
+    dist::Coordinator coord(spec, opts);
+    const std::string journal = tempPath("degraded_run.fhj");
+    fault::CampaignResult r;
+    {
+        fault::TrialJournal j(journal, spec.campaign,
+                              schemeName(spec));
+        r = coord.run(&j);
+    }
+    expectIdentical(ref, r);
+    EXPECT_FALSE(r.partial);
+    EXPECT_TRUE(coord.stats().degraded);
+    EXPECT_EQ(fileBytes(refJournal), fileBytes(journal));
+    std::remove(refJournal.c_str());
+    std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Quarantine: a pid that keeps failing leases stops getting them.
+// ---------------------------------------------------------------------
+
+/** Takes a lease, then vanishes — one lease failure per connection. */
+pid_t
+spawnLeaseDropper(const dist::Endpoint &ep)
+{
+    return dist::spawnFn([ep]() -> int {
+        std::string error;
+        const int fd = dist::connectTo(ep, error);
+        if (fd < 0)
+            return 1;
+        dist::HelloMsg hello;
+        hello.pid = static_cast<u64>(::getpid());
+        dist::sendFrame(fd, dist::MsgType::Hello, hello.encode());
+        dist::FrameReader reader;
+        dist::Frame f;
+        while (recvFrame(fd, reader, f)) {
+            if (static_cast<dist::MsgType>(f.type) ==
+                dist::MsgType::Assign) {
+                ::close(fd);
+                return 0;
+            }
+        }
+        return 0;
+    });
+}
+
+TEST(Chaos, RepeatedLeaseFailureQuarantinesWorker)
+{
+    ::unsetenv("FH_CHAOS");
+    dist::chaos::reload();
+    const dist::CampaignSpec spec = testSpec();
+    const fault::CampaignResult ref = singleProcess(spec);
+
+    dist::CoordinatorOptions opts;
+    opts.workers = 2;
+    opts.chunk = 12;
+    opts.quarantineStrikes = 1; // first failure quarantines
+    dist::Coordinator coord(spec, opts);
+    const pid_t bad = spawnLeaseDropper(coord.endpoint());
+    const pid_t good = spawnRealWorker(coord.endpoint(), 100);
+
+    const fault::CampaignResult r = coord.run(nullptr);
+    dist::reap(bad);
+    dist::reap(good);
+
+    expectIdentical(ref, r);
+    EXPECT_FALSE(r.partial);
+    EXPECT_GE(coord.stats().quarantined, 1u);
+    EXPECT_GE(coord.stats().rangesReissued, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Journal corruption: every single-bit flip is either a healed torn
+// tail or a precise refusal — never a silent wrong resume.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, JournalBitFlipHealsOrRefusesNeverLies)
+{
+    dist::CampaignSpec spec = testSpec();
+    spec.campaign.injections = 4; // tiny: the sweep forks per byte
+    const std::string clean = tempPath("flip_clean.fhj");
+    singleProcess(spec, clean);
+    const std::string cleanBytes = fileBytes(clean);
+    ASSERT_GT(cleanBytes.size(), 0u);
+
+    // Capture the clean replay (packed, comparable across processes).
+    std::vector<std::vector<u64>> want;
+    {
+        fault::TrialJournal j(clean, spec.campaign, schemeName(spec));
+        for (u64 t = 0; t < j.replayCount(); ++t) {
+            std::vector<u64> rec(fault::kTrialCounters +
+                                 fault::kTrialMetaFields);
+            u64 d[fault::kTrialCounters];
+            u64 m[fault::kTrialMetaFields];
+            fault::packTrialCounters(j.replayed(t), d);
+            fault::packTrialMeta(j.replayedMeta(t), m);
+            std::copy(d, d + fault::kTrialCounters, rec.begin());
+            std::copy(m, m + fault::kTrialMetaFields,
+                      rec.begin() + fault::kTrialCounters);
+            want.push_back(std::move(rec));
+        }
+        ASSERT_EQ(want.size(), 4u);
+    }
+
+    const std::string flipped = tempPath("flip_damaged.fhj");
+    size_t healed = 0, refused = 0;
+    for (size_t off = 0; off < cleanBytes.size(); ++off) {
+        std::string bytes = cleanBytes;
+        bytes[off] = static_cast<char>(
+            static_cast<u8>(bytes[off]) ^ (1u << (off % 8)));
+        {
+            std::ofstream out(flipped, std::ios::binary |
+                                           std::ios::trunc);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size()));
+        }
+        // Open in a throwaway process: fh_fatal is a refusal (exit 1);
+        // exit 0 means the replayed prefix matched the clean records
+        // exactly; exit 2 flags a silent lie.
+        const pid_t child = dist::spawnFn([&]() -> int {
+            std::FILE *sink = std::freopen("/dev/null", "w", stderr);
+            (void)sink;
+            sink = std::freopen("/dev/null", "w", stdout);
+            (void)sink;
+            fault::TrialJournal j(flipped, spec.campaign,
+                                  schemeName(spec));
+            if (j.replayCount() > want.size())
+                return 2;
+            for (u64 t = 0; t < j.replayCount(); ++t) {
+                u64 d[fault::kTrialCounters];
+                u64 m[fault::kTrialMetaFields];
+                fault::packTrialCounters(j.replayed(t), d);
+                fault::packTrialMeta(j.replayedMeta(t), m);
+                for (size_t i = 0; i < fault::kTrialCounters; ++i)
+                    if (d[i] != want[t][i])
+                        return 2;
+                for (size_t i = 0; i < fault::kTrialMetaFields; ++i)
+                    if (m[i] != want[t][fault::kTrialCounters + i])
+                        return 2;
+            }
+            return 0;
+        });
+        ASSERT_GT(child, 0);
+        const int raw = dist::reap(child);
+        const int status =
+            WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+        ASSERT_TRUE(status == 0 || status == 1)
+            << "flip at byte " << off << " produced exit " << status
+            << " — a corrupted journal was neither healed nor "
+               "refused";
+        if (status == 0)
+            ++healed;
+        else
+            ++refused;
+    }
+    // Both regimes must occur: header/mid-file flips refuse, final-
+    // record flips heal as torn tails.
+    EXPECT_GT(healed, 0u);
+    EXPECT_GT(refused, 0u);
+    std::remove(clean.c_str());
+    std::remove(flipped.c_str());
+}
+
+// ---------------------------------------------------------------------
+// ChildGuard: no orphans on the no-RAII death paths.
+// ---------------------------------------------------------------------
+
+void
+expectGuardReaps(bool viaAbort)
+{
+    int pfd[2];
+    ASSERT_EQ(::pipe(pfd), 0);
+    const pid_t child = dist::spawnFn([&]() -> int {
+        std::FILE *sink = std::freopen("/dev/null", "w", stderr);
+        (void)sink;
+        const pid_t g = dist::spawnFn([]() -> int {
+            ::sleep(600);
+            return 0;
+        });
+        dist::ChildGuard::add(g);
+        const ssize_t w = ::write(pfd[1], &g, sizeof(g));
+        (void)w;
+        if (viaAbort)
+            std::abort(); // the SIGABRT handler must clean up
+        std::exit(1);     // the atexit hook must clean up (fh_fatal)
+    });
+    ASSERT_GT(child, 0);
+    ::close(pfd[1]);
+    pid_t g = -1;
+    ASSERT_EQ(::read(pfd[0], &g, sizeof(g)),
+              static_cast<ssize_t>(sizeof(g)));
+    ::close(pfd[0]);
+    ASSERT_GT(g, 0);
+    dist::reap(child);
+    // The grandchild must be gone shortly after the guard fired.
+    bool dead = false;
+    for (int spins = 0; spins < 2500; ++spins) {
+        if (::kill(g, 0) != 0 && errno == ESRCH) {
+            dead = true;
+            break;
+        }
+        ::usleep(2000);
+    }
+    EXPECT_TRUE(dead) << "grandchild " << g << " survived the "
+                      << (viaAbort ? "abort" : "exit") << " path";
+}
+
+TEST(Chaos, ChildGuardReapsOnExitPath)
+{
+    expectGuardReaps(false);
+}
+
+TEST(Chaos, ChildGuardReapsOnAbortPath)
+{
+    expectGuardReaps(true);
+}
+
+// ---------------------------------------------------------------------
+// fhsim dispatch: a coordinator fh_fatal must not orphan workers.
+// ---------------------------------------------------------------------
+
+bool
+anyCmdlineMentions(const std::string &needle)
+{
+    DIR *proc = ::opendir("/proc");
+    if (!proc)
+        return false;
+    bool found = false;
+    while (const dirent *ent = ::readdir(proc)) {
+        const std::string name = ent->d_name;
+        if (name.empty() ||
+            name.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        std::ifstream in("/proc/" + name + "/cmdline",
+                         std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        if (ss.str().find(needle) != std::string::npos) {
+            found = true;
+            break;
+        }
+    }
+    ::closedir(proc);
+    return found;
+}
+
+TEST(Chaos, DispatchFatalLeavesNoOrphanWorkers)
+{
+    std::string exe = dist::selfExe();
+    const size_t slash = exe.rfind('/');
+    ASSERT_NE(slash, std::string::npos);
+    const std::string fhsim =
+        exe.substr(0, slash) + "/../examples/fhsim";
+    if (::access(fhsim.c_str(), X_OK) != 0)
+        GTEST_SKIP() << "fhsim binary not built at " << fhsim;
+
+    // A journal from a different campaign: dispatch opens it AFTER
+    // spawning the workers, hits the header mismatch, fh_fatals — and
+    // ChildGuard must take the workers down with it.
+    const dist::CampaignSpec spec = testSpec();
+    const std::string journal = tempPath("orphan_mismatch.fhj");
+    {
+        fault::CampaignConfig other = spec.campaign;
+        other.seed = 987654321;
+        fault::TrialJournal j(journal, other, schemeName(spec));
+    }
+    const std::string sock =
+        tempPath("orphan_marker_" + std::to_string(::getpid()) +
+                 ".sock");
+    const std::string cmd =
+        fhsim + " dispatch jobs=2 bench=ocean seed=77 injections=24 "
+                "window=300 journal=" +
+        journal + " listen=unix:" + sock + " >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(rc));
+    EXPECT_NE(WEXITSTATUS(rc), 0);
+    // The endpoint string is on every worker's command line; nobody
+    // may still be carrying it.
+    EXPECT_FALSE(anyCmdlineMentions(sock))
+        << "a worker process survived the coordinator's fh_fatal";
+    std::remove(journal.c_str());
+    std::remove(sock.c_str());
+}
+
+} // namespace

@@ -163,6 +163,11 @@ spawnSabotagedWorker(const dist::Endpoint &ep, u64 goodTrials)
         dist::FrameReader reader;
         dist::Frame f;
         dist::CampaignSpec spec;
+        // v3: the coordinator answers Hello with an explicit verdict.
+        if (!recvFrame(fd, reader, f) ||
+            static_cast<dist::MsgType>(f.type) !=
+                dist::MsgType::HelloAck)
+            return 1;
         if (!recvFrame(fd, reader, f) ||
             static_cast<dist::MsgType>(f.type) != dist::MsgType::Spec)
             return 1;

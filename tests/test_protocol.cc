@@ -3,7 +3,9 @@
  * Wire-protocol robustness for the distributed campaign fabric:
  * message round-trips, incremental/torn-frame parsing (a worker
  * killed mid-write must never yield a phantom frame), corrupt-length
- * detection, endpoint parsing, and the CampaignSpec text round-trip.
+ * detection, CRC32C trailer verification (every single-byte flip in a
+ * frame is caught), endpoint parsing, and the CampaignSpec text
+ * round-trip.
  */
 
 #include <gtest/gtest.h>
@@ -142,6 +144,16 @@ TEST(Wire, CorruptLengthIsTerminal)
     EXPECT_FALSE(r1.next(f));
     EXPECT_TRUE(r1.corrupt());
 
+    // Length too small to hold type + CRC trailer (v3 minimum is 5).
+    std::vector<u8> tiny;
+    putU32(tiny, 4);
+    for (int i = 0; i < 4; ++i)
+        putU8(tiny, 0);
+    FrameReader r3;
+    r3.feed(tiny.data(), tiny.size());
+    EXPECT_FALSE(r3.next(f));
+    EXPECT_TRUE(r3.corrupt());
+
     // Length beyond the sanity bound.
     std::vector<u8> huge;
     putU32(huge, kMaxFrame + 1);
@@ -156,14 +168,58 @@ TEST(Wire, CorruptLengthIsTerminal)
     EXPECT_TRUE(r2.corrupt());
 }
 
+TEST(Wire, CrcCatchesEverySingleBitFlip)
+{
+    // Flip every bit of an encoded frame in turn: no flipped variant
+    // may ever produce a frame. A flip in the body or trailer is a CRC
+    // mismatch; a flip in the length prefix either fails the sanity
+    // bounds, fails the CRC (the prefix is covered), or leaves the
+    // reader waiting for bytes that never arrive — but never a frame.
+    TrialMsg t;
+    t.trial = 3;
+    for (size_t i = 0; i < fault::kTrialCounters; ++i)
+        t.d[i] = 7 * i + 1;
+    const auto clean = encodeFrame(MsgType::Trial, t.encode());
+
+    for (size_t bit = 0; bit < clean.size() * 8; ++bit) {
+        auto bytes = clean;
+        bytes[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        FrameReader reader;
+        reader.feed(bytes.data(), bytes.size());
+        Frame f;
+        EXPECT_FALSE(reader.next(f)) << "bit " << bit;
+        EXPECT_TRUE(reader.corrupt() || reader.pendingBytes() > 0)
+            << "bit " << bit;
+        if (reader.corrupt() && bit >= 32) {
+            EXPECT_EQ(reader.crcErrors(), 1u) << "bit " << bit;
+        }
+    }
+
+    // The pristine frame still round-trips (the loop above copied).
+    FrameReader reader;
+    reader.feed(clean.data(), clean.size());
+    Frame f;
+    ASSERT_TRUE(reader.next(f));
+    EXPECT_EQ(reader.crcErrors(), 0u);
+}
+
 TEST(Messages, RoundTrips)
 {
     HelloMsg hello;
     hello.pid = 4242;
+    hello.reconnect = 3;
     HelloMsg hello2;
     ASSERT_TRUE(HelloMsg::decode(hello.encode(), hello2));
     EXPECT_EQ(hello2.version, kProtocolVersion);
     EXPECT_EQ(hello2.pid, 4242u);
+    EXPECT_EQ(hello2.reconnect, 3u);
+
+    HelloAckMsg ack;
+    ack.accepted = true;
+    HelloAckMsg ack2;
+    ASSERT_TRUE(HelloAckMsg::decode(ack.encode(), ack2));
+    EXPECT_EQ(ack2.version, kProtocolVersion);
+    EXPECT_TRUE(ack2.accepted);
 
     SpecMsg spec{"bench = ocean\nseed = 7\n"};
     SpecMsg spec2;
